@@ -1,0 +1,38 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+A single session-scoped :class:`SweepRunner` is shared by every bench so
+the 46x2 simulation sweep runs once; each bench then times its figure's
+analysis pass and writes the regenerated rows to ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import DEFAULT_BENCH_SCALE, SweepRunner
+from repro.sim.engine import SimOptions
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> SweepRunner:
+    return SweepRunner(options=SimOptions(scale=DEFAULT_BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_options() -> SimOptions:
+    return SimOptions(scale=DEFAULT_BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Write a regenerated table/figure to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,61 @@
+"""Architectural design-space exploration with the simulator.
+
+An architect's view: vary one hardware parameter at a time — PCIe
+bandwidth, shared-cache capacity, page-fault service latency — and watch
+which software inefficiency each mechanism exposes or hides.
+
+Run with::
+
+    python examples/design_space.py [--scale 0.03125]
+"""
+
+import argparse
+
+from repro import SimOptions
+from repro.experiments import ablations
+from repro.units import seconds_to_human
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1 / 32)
+    args = parser.parse_args()
+    options = SimOptions(scale=args.scale)
+
+    print("1. PCIe bandwidth vs kmeans baseline (Section II asymmetry)")
+    print(f"   {'PCIe':>8s} {'run time':>12s} {'copy share':>11s}")
+    for row in ablations.pcie_sweep(options=options):
+        print(f"   {row.pcie_gbps:>5.0f}GB/s {seconds_to_human(row.runtime_s):>12s} "
+              f"{row.copy_share:>10.0%}")
+    print("   -> at 8 GB/s the copy engine dominates; bandwidth parity with\n"
+          "      memory would erase the incentive for bulk-synchronous code.\n")
+
+    print("2. GPU L2 capacity vs kmeans cache contention (Section V-C)")
+    print(f"   {'L2 scale':>9s} {'contention':>11s} {'spills':>7s} {'off-chip':>10s}")
+    for row in ablations.cache_size_sweep(options=options):
+        print(f"   {row.gpu_l2_scale:>8.1f}x {row.contention_fraction:>10.0%} "
+              f"{row.spill_fraction:>6.0%} {row.offchip_accesses:>10,}")
+    print("   -> capacity helps, but contention persists until working sets\n"
+          "      fit: software chunking beats raw capacity.\n")
+
+    print("3. Page-fault service latency vs srad (Section IV)")
+    print(f"   {'latency':>9s} {'run time':>12s} {'slowdown':>9s}")
+    for row in ablations.pagefault_sweep(options=options):
+        print(f"   {row.service_latency_us:>7.1f}us "
+              f"{seconds_to_human(row.runtime_s):>12s} "
+              f"{row.slowdown_vs_no_faults:>8.2f}x")
+    print("   -> CPU-handled GPU page faults are the heterogeneous\n"
+          "      processor's Achilles heel for write-first workloads; the\n"
+          "      paper flags GPU-side fault handling as future research.\n")
+
+    align = ablations.alignment_ablation(options=options)
+    print("4. Allocation alignment (Fig. 5 '*' benchmarks)")
+    print(f"   sgemm limited-copy GPU off-chip accesses: "
+          f"{align.aligned_gpu_accesses:,} aligned vs "
+          f"{align.misaligned_gpu_accesses:,} misaligned "
+          f"({align.inflation:+.0%})")
+    print("   -> an aligned allocator recovers the loss for free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""The Section II kmeans case study: five organizations, one benchmark.
+
+Walks kmeans through the paper's optimization sequence — baseline,
+asynchronous copy streams, copy removal, producer-consumer overlap, and
+in-cache data handoff — and prints the Fig. 3 run-time/utilization series.
+
+Run with::
+
+    python examples/kmeans_case_study.py [--scale 0.03125]
+"""
+
+import argparse
+
+from repro import SimOptions
+from repro.core.casestudy import kmeans_case_study
+from repro.units import seconds_to_human
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1 / 32)
+    parser.add_argument("--streams", type=int, default=3,
+                        help="width of the async-copy stream organization")
+    parser.add_argument("--chunks", type=int, default=64,
+                        help="producer-consumer chunk count")
+    args = parser.parse_args()
+
+    results = kmeans_case_study(
+        options=SimOptions(scale=args.scale),
+        streams=args.streams,
+        chunks=args.chunks,
+    )
+    baseline = results[0].runtime_s
+
+    print(f"{'Organization':22s} {'run time':>12s} {'normalized':>11s} "
+          f"{'GPU util':>9s}")
+    for r in results:
+        star = " (estimate)" if r.estimated else ""
+        print(
+            f"{r.label:22s} {seconds_to_human(r.runtime_s):>12s} "
+            f"{r.runtime_s / baseline:>10.2f}x {r.gpu_utilization:>8.0%}"
+            f"{star}"
+        )
+
+    final = results[-1]
+    print(
+        f"\nRun time recovered vs baseline: {1 - final.runtime_s / baseline:.0%} "
+        f"(paper: up to 77%)"
+    )
+    print(
+        "Takeaway: removing copies buys ~2x, and overlap plus in-cache\n"
+        "producer-consumer handoff on the heterogeneous processor buys ~2x\n"
+        "more — optimizations that are impractical on a discrete GPU."
+    )
+
+
+if __name__ == "__main__":
+    main()

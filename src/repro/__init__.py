@@ -1,0 +1,95 @@
+"""repro: reproduction of "GPU Computing Pipeline Inefficiencies and
+Optimization Opportunities in Heterogeneous CPU-GPU Processors"
+(Hestness, Keckler, Wood — IISWC 2015).
+
+The library models discrete CPU-GPU systems and heterogeneous processors,
+executes benchmark pipelines on them with a trace-driven cache/memory
+simulator, and applies the paper's analytical models to quantify pipeline
+inefficiencies.  Quick start::
+
+    from repro import (
+        discrete_gpu_system, heterogeneous_processor,
+        simulate, SimOptions, remove_copies, workloads,
+    )
+
+    spec = workloads.get("rodinia/kmeans")
+    pipeline = spec.pipeline()
+    baseline = simulate(pipeline, discrete_gpu_system(), SimOptions(scale=1 / 16))
+    ported = simulate(remove_copies(pipeline), heterogeneous_processor(),
+                      SimOptions(scale=1 / 16))
+    print(baseline.roi_s, ported.roi_s)
+"""
+
+from repro import workloads
+from repro.config import (
+    SystemConfig,
+    SystemKind,
+    discrete_gpu_system,
+    heterogeneous_processor,
+)
+from repro.core import (
+    AccessClass,
+    Classification,
+    ComponentTimes,
+    classify_result,
+    component_overlap_runtime,
+    footprint_breakdown,
+    kmeans_case_study,
+    migrated_compute_runtime,
+    opportunity_report,
+)
+from repro.pipeline import (
+    AccessPattern,
+    Buffer,
+    BufferAccess,
+    KernelResources,
+    Pipeline,
+    PipelineBuilder,
+    Stage,
+    StageKind,
+    fission_async_streams,
+    fuse_kernels,
+    migrate_compute,
+    migrate_kernels_to_cpu,
+    parallel_producer_consumer,
+    remove_copies,
+)
+from repro.sim import Component, SimOptions, SimResult, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessClass",
+    "AccessPattern",
+    "Buffer",
+    "BufferAccess",
+    "Classification",
+    "Component",
+    "KernelResources",
+    "ComponentTimes",
+    "Pipeline",
+    "PipelineBuilder",
+    "SimOptions",
+    "SimResult",
+    "Stage",
+    "StageKind",
+    "SystemConfig",
+    "SystemKind",
+    "__version__",
+    "classify_result",
+    "component_overlap_runtime",
+    "discrete_gpu_system",
+    "fission_async_streams",
+    "fuse_kernels",
+    "footprint_breakdown",
+    "heterogeneous_processor",
+    "kmeans_case_study",
+    "migrate_compute",
+    "migrate_kernels_to_cpu",
+    "migrated_compute_runtime",
+    "opportunity_report",
+    "parallel_producer_consumer",
+    "remove_copies",
+    "simulate",
+    "workloads",
+]

@@ -1,0 +1,276 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands::
+
+    repro show-config                 # Table I system parameters
+    repro list [--suite SUITE]        # all benchmarks + Table II flags
+    repro run BENCHMARK [--scale S]   # simulate one benchmark, both versions
+    repro table2                      # regenerate Table II
+    repro fig3 ... fig9               # regenerate a figure
+    repro validate                    # Section V-A/V-B validations
+    repro ablations                   # ablation studies
+    repro all [--scale S]             # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config.system import TABLE_I
+from repro.experiments import (
+    ablations,
+    advisor,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table2,
+    validation,
+)
+from repro.experiments.report import format_mapping, format_table
+from repro.experiments.runner import DEFAULT_BENCH_SCALE, SweepRunner
+from repro.sim.engine import SimOptions
+from repro.sim.hierarchy import Component
+from repro.config.system import discrete_gpu_system
+from repro.workloads.registry import SUITES, all_specs, get, suite_specs
+
+FIGURES = {
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+}
+
+
+def _options(args: argparse.Namespace) -> SimOptions:
+    return SimOptions(scale=args.scale, seed=args.seed)
+
+
+def _runner(args: argparse.Namespace) -> SweepRunner:
+    return SweepRunner(options=_options(args))
+
+
+def cmd_show_config(args: argparse.Namespace) -> int:
+    print(format_mapping("Table I: Heterogeneous system parameters", TABLE_I))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    specs = suite_specs(args.suite) if args.suite else all_specs()
+    rows = [
+        (
+            s.full_name,
+            s.simulatable,
+            s.pc_comm,
+            s.pipe_parallel,
+            s.regular_pc,
+            s.irregular,
+            s.sw_queue,
+            s.description,
+        )
+        for s in specs
+    ]
+    print(
+        format_table(
+            (
+                "Benchmark",
+                "Sim",
+                "P-C",
+                "Paral",
+                "Reg",
+                "Irreg",
+                "SWQ",
+                "Description",
+            ),
+            rows,
+            title=f"Benchmarks ({len(rows)})",
+        )
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = get(args.benchmark)
+    runner = _runner(args)
+    pair = runner.pair(spec)
+    for label, result in (("copy", pair.copy), ("limited-copy", pair.limited)):
+        print(f"\n{spec.full_name} [{label}] on {result.system_kind}")
+        summary = result.summary()
+        summary["copy_exclusive_share"] = (
+            result.exclusive_time(Component.COPY) / result.roi_s if result.roi_s else 0
+        )
+        print(format_mapping("summary", {k: f"{v:.6g}" for k, v in summary.items()}))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    print(table2.render())
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    report = advisor.advise_benchmark(args.benchmark, _runner(args))
+    print(report.render())
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.sim.timeline import render_stage_table, render_timeline
+
+    spec = get(args.benchmark)
+    runner = _runner(args)
+    version = "limited-copy" if args.limited else "copy"
+    result = runner.run(spec, version)
+    print(render_timeline(result))
+    print()
+    print(render_stage_table(result))
+    return 0
+
+
+def cmd_run_spec(args: argparse.Namespace) -> int:
+    from repro.config.system import heterogeneous_processor
+    from repro.pipeline.transforms import remove_copies
+    from repro.sim.engine import simulate
+    from repro.sim.timeline import render_timeline
+    from repro.workloads.loader import pipeline_from_file
+
+    pipeline = pipeline_from_file(args.spec)
+    options = _options(args)
+    baseline = simulate(pipeline, discrete_gpu_system(), options)
+    ported = simulate(
+        remove_copies(pipeline), heterogeneous_processor(), options
+    )
+    print(render_timeline(baseline))
+    print()
+    print(render_timeline(ported))
+    print(
+        f"\nporting changes run time by "
+        f"{ported.roi_s / baseline.roi_s - 1.0:+.1%}"
+    )
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.sim.serialize import result_to_json
+
+    spec = get(args.benchmark)
+    runner = _runner(args)
+    version = "limited-copy" if args.limited else "copy"
+    result = runner.run(spec, version)
+    text = result_to_json(result, include_log=args.include_log)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    print(fig3.render(_options(args)))
+    return 0
+
+
+def cmd_figure(module):
+    def handler(args: argparse.Namespace) -> int:
+        print(module.render(_runner(args)))
+        return 0
+
+    return handler
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    print(validation.render(_runner(args)))
+    return 0
+
+
+def cmd_ablations(args: argparse.Namespace) -> int:
+    print(ablations.render(_options(args)))
+    return 0
+
+
+def cmd_all(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    print(format_mapping("Table I", TABLE_I))
+    print()
+    print(table2.render())
+    print()
+    print(fig3.render(_options(args)))
+    for name, module in FIGURES.items():
+        print()
+        print(module.render(runner))
+    print()
+    print(validation.render(runner))
+    print()
+    print(ablations.render(_options(args)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'GPU Computing Pipeline "
+        "Inefficiencies and Optimization Opportunities in Heterogeneous "
+        "CPU-GPU Processors' (IISWC 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, handler, help_text):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=DEFAULT_BENCH_SCALE,
+            help="footprint/cache scale factor (1.0 = paper scale)",
+        )
+        p.add_argument("--seed", type=int, default=0, help="trace seed")
+        p.set_defaults(handler=handler)
+        return p
+
+    add("show-config", cmd_show_config, "print Table I")
+    list_p = add("list", cmd_list, "list benchmarks and Table II flags")
+    list_p.add_argument("--suite", choices=SUITES, default=None)
+    run_p = add("run", cmd_run, "simulate one benchmark, both versions")
+    run_p.add_argument("benchmark", help="benchmark name, e.g. rodinia/kmeans")
+    add("table2", cmd_table2, "regenerate Table II")
+    advise_p = add("advise", cmd_advise,
+                   "rank optimization opportunities for one benchmark")
+    advise_p.add_argument("benchmark", help="benchmark name")
+    timeline_p = add("timeline", cmd_timeline,
+                     "render a run's component activity as ASCII Gantt")
+    timeline_p.add_argument("benchmark", help="benchmark name")
+    timeline_p.add_argument("--limited", action="store_true",
+                            help="show the limited-copy version")
+    export_p = add("export", cmd_export, "dump one run as JSON")
+    export_p.add_argument("benchmark", help="benchmark name")
+    export_p.add_argument("--limited", action="store_true")
+    export_p.add_argument("--include-log", action="store_true",
+                          help="include the raw off-chip access log")
+    export_p.add_argument("--output", default=None, help="output file path")
+    spec_p = add("run-spec", cmd_run_spec,
+                 "simulate a declarative JSON workload, both systems")
+    spec_p.add_argument("spec", help="path to a workload JSON file")
+    add("fig3", cmd_fig3, "regenerate Fig. 3 (kmeans case study)")
+    for name, module in FIGURES.items():
+        add(name, cmd_figure(module), f"regenerate {name}")
+    add("validate", cmd_validate, "Section V-A/V-B model validations")
+    add("ablations", cmd_ablations, "ablation studies")
+    add("all", cmd_all, "regenerate every table and figure")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

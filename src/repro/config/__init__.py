@@ -1,0 +1,39 @@
+"""System configuration (Table I of the paper)."""
+
+from repro.config.components import (
+    DDR3_1600,
+    GDDR5,
+    CacheConfig,
+    CpuConfig,
+    GpuConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    PcieConfig,
+)
+from repro.config.system import (
+    TABLE_I,
+    PageFaultConfig,
+    SystemConfig,
+    SystemKind,
+    discrete_gpu_system,
+    heterogeneous_processor,
+    table_i,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CpuConfig",
+    "GpuConfig",
+    "InterconnectConfig",
+    "MemoryConfig",
+    "PcieConfig",
+    "PageFaultConfig",
+    "SystemConfig",
+    "SystemKind",
+    "DDR3_1600",
+    "GDDR5",
+    "TABLE_I",
+    "discrete_gpu_system",
+    "heterogeneous_processor",
+    "table_i",
+]

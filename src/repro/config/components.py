@@ -1,0 +1,175 @@
+"""Hardware component configuration records.
+
+These dataclasses encode the simulated-system parameters of the paper's
+Table I.  They are deliberately plain: a configuration is data, and the
+simulator modules in :mod:`repro.sim` interpret it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import GB_PER_S, GFLOPS, GHZ, KB, MB, MICROSECONDS, NANOSECONDS
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A single cache level.
+
+    Attributes:
+        capacity_bytes: total data capacity.
+        line_bytes: cache line (block) size; the paper uses 128B throughout.
+        associativity: number of ways per set.
+        writeback: whether dirty lines are written back on eviction (all
+            caches in this study are write-back, write-allocate).
+    """
+
+    capacity_bytes: int
+    line_bytes: int = 128
+    associativity: int = 8
+    writeback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity_bytes}")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"line size must be a positive power of two, got {self.line_bytes}")
+        if self.associativity <= 0:
+            raise ValueError(f"associativity must be positive, got {self.associativity}")
+        if self.capacity_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                "capacity must be a multiple of line_bytes * associativity "
+                f"({self.capacity_bytes} % {self.line_bytes * self.associativity})"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    def scaled(self, factor: float) -> "CacheConfig":
+        """Return a copy with capacity scaled by ``factor``.
+
+        The result is rounded so the capacity remains a valid multiple of
+        ``line_bytes * associativity`` (at least one set).
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        granule = self.line_bytes * self.associativity
+        sets = max(1, round(self.capacity_bytes * factor / granule))
+        return CacheConfig(
+            capacity_bytes=sets * granule,
+            line_bytes=self.line_bytes,
+            associativity=self.associativity,
+            writeback=self.writeback,
+        )
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """CPU complex: out-of-order x86 cores with private L1/L2 caches."""
+
+    num_cores: int = 4
+    clock_hz: float = 3.5 * GHZ
+    issue_width: int = 4
+    flops_per_core: float = 14 * GFLOPS
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(32 * KB))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(64 * KB))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(256 * KB))
+    # Average off-chip miss latency seen by a core and the memory-level
+    # parallelism it can sustain; used by the latency-sensitivity term of the
+    # CPU stage-duration model.
+    miss_latency_s: float = 120 * NANOSECONDS
+    memory_level_parallelism: float = 6.0
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate peak FLOP rate across all cores (Fcpu in Eq. 2)."""
+        return self.num_cores * self.flops_per_core
+
+    @property
+    def total_l2_bytes(self) -> int:
+        return self.num_cores * self.l2.capacity_bytes
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """GPU complex: Fermi-like SIMT cores sharing a banked L2."""
+
+    num_cores: int = 16
+    clock_hz: float = 0.7 * GHZ
+    max_ctas_per_core: int = 8
+    warps_per_core: int = 48
+    threads_per_warp: int = 32
+    scratch_bytes_per_core: int = 48 * KB
+    registers_per_core: int = 32 * 1024
+    flops_per_core: float = 22.4 * GFLOPS
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(24 * KB, associativity=4))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(1 * MB, associativity=16))
+    warp_scheduler: str = "greedy-then-oldest"
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate peak FLOP rate across all SIMT cores (Fgpu in Eq. 2)."""
+        return self.num_cores * self.flops_per_core
+
+    @property
+    def max_threads(self) -> int:
+        return self.num_cores * self.warps_per_core * self.threads_per_warp
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """An off-chip memory pool built from one or more DRAM channels.
+
+    The paper reports that achieved bandwidth "generally tops out at about
+    82% of peak pin bandwidth"; ``efficiency`` captures that.
+    """
+
+    name: str
+    num_channels: int
+    peak_bandwidth: float
+    efficiency: float = 0.82
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+        if self.peak_bandwidth <= 0:
+            raise ValueError("peak bandwidth must be positive")
+
+    @property
+    def achievable_bandwidth(self) -> float:
+        return self.peak_bandwidth * self.efficiency
+
+
+@dataclass(frozen=True)
+class PcieConfig:
+    """PCIe link between CPU and discrete-GPU memory spaces."""
+
+    generation: str = "2.0 x16"
+    peak_bandwidth: float = 8 * GB_PER_S
+    efficiency: float = 0.9
+    # Fixed software + DMA setup cost per copy operation.
+    copy_launch_latency_s: float = 10 * MICROSECONDS
+
+    @property
+    def achievable_bandwidth(self) -> float:
+        return self.peak_bandwidth * self.efficiency
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """On-chip interconnect, folded into effective latency/bandwidth terms."""
+
+    name: str
+    ports: int
+    link_latency_s: float = 20 * NANOSECONDS
+
+
+# --- Table I instances -------------------------------------------------------
+
+DDR3_1600 = MemoryConfig(name="DDR3-1600", num_channels=2, peak_bandwidth=24 * GB_PER_S)
+GDDR5 = MemoryConfig(name="GDDR5", num_channels=4, peak_bandwidth=179 * GB_PER_S)

@@ -1,0 +1,91 @@
+"""The paper's analytical models: overlap, migration, classification."""
+
+from repro.core.casestudy import (
+    ORGANIZATIONS,
+    OrganizationResult,
+    as_table,
+    case_study,
+    kmeans_case_study,
+)
+from repro.core.classify import (
+    AccessClass,
+    Classification,
+    classify_log,
+    classify_result,
+)
+from repro.core.footprint import (
+    SUBSET_ORDER,
+    FootprintBreakdown,
+    footprint_breakdown,
+    subset_label,
+)
+from repro.core.metrics import geomean, improvement, normalize, safe_ratio
+from repro.core.migrate import (
+    MigrateBound,
+    MigrateEstimate,
+    achieved_bandwidth,
+    migrated_compute_runtime,
+)
+from repro.core.opportunity import OpportunityReport, opportunity_report
+from repro.core.roofline import (
+    RooflineBound,
+    RooflinePoint,
+    memory_bound_fraction,
+    roofline_report,
+)
+from repro.core.reuse import (
+    ConcurrentFootprintReport,
+    MissRatioPoint,
+    StageFootprint,
+    concurrent_footprint_report,
+    miss_ratio_curve,
+    reuse_time_histogram,
+    stage_footprints,
+)
+from repro.core.overlap import (
+    ComponentTimes,
+    OverlapEstimate,
+    component_overlap_runtime,
+    estimate_from_result,
+)
+
+__all__ = [
+    "AccessClass",
+    "Classification",
+    "ComponentTimes",
+    "ConcurrentFootprintReport",
+    "FootprintBreakdown",
+    "MigrateBound",
+    "MissRatioPoint",
+    "MigrateEstimate",
+    "ORGANIZATIONS",
+    "OpportunityReport",
+    "OrganizationResult",
+    "OverlapEstimate",
+    "RooflineBound",
+    "RooflinePoint",
+    "StageFootprint",
+    "SUBSET_ORDER",
+    "achieved_bandwidth",
+    "as_table",
+    "case_study",
+    "classify_log",
+    "classify_result",
+    "concurrent_footprint_report",
+    "component_overlap_runtime",
+    "estimate_from_result",
+    "footprint_breakdown",
+    "geomean",
+    "improvement",
+    "kmeans_case_study",
+    "miss_ratio_curve",
+    "memory_bound_fraction",
+    "migrated_compute_runtime",
+    "normalize",
+    "opportunity_report",
+    "reuse_time_histogram",
+    "roofline_report",
+    "safe_ratio",
+    "stage_footprints",
+    "subset_label",
+]

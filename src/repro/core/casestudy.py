@@ -1,0 +1,161 @@
+"""The Section II / Fig. 3 case study: one benchmark, five organizations.
+
+Runs a benchmark through the sequence of organizations the paper walks
+kmeans through:
+
+1. **Baseline** — unmodified copy version on the discrete GPU system.
+2. **Asynchronous Copy** — kernel fission + N-wide async streams, discrete.
+3. **No Memory Copy** — limited-copy port on the heterogeneous processor.
+4. **Parallel*** — analytical estimate (Eq. 1) of producer-consumer overlap
+   applied to the no-copy organization (starred: estimated, not simulated).
+5. **Parallel + Cache** — chunked producer-consumer version *simulated* on
+   the heterogeneous processor, where in-cache data handoff improves on the
+   estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config.system import SystemConfig, discrete_gpu_system, heterogeneous_processor
+from repro.core.overlap import ComponentTimes, component_overlap_runtime
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.transforms import (
+    fission_async_streams,
+    parallel_producer_consumer,
+    remove_copies,
+)
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.hierarchy import Component
+from repro.sim.results import SimResult
+
+#: Organization labels, in presentation order (Fig. 3 x-axis).
+BASELINE = "Baseline"
+ASYNC_COPY = "Asynchronous Copy"
+NO_COPY = "No Memory Copy"
+PARALLEL = "Parallel*"
+PARALLEL_CACHE = "Parallel + Cache"
+
+ORGANIZATIONS = (BASELINE, ASYNC_COPY, NO_COPY, PARALLEL, PARALLEL_CACHE)
+
+
+@dataclass(frozen=True)
+class OrganizationResult:
+    """Run time and utilization of one benchmark organization."""
+
+    label: str
+    runtime_s: float
+    cpu_busy_s: float
+    copy_busy_s: float
+    gpu_busy_s: float
+    gpu_utilization: float
+    estimated: bool
+    result: Optional[SimResult] = None
+
+    def normalized(self, baseline_runtime_s: float) -> float:
+        return self.runtime_s / baseline_runtime_s
+
+
+def _from_sim(label: str, result: SimResult) -> OrganizationResult:
+    return OrganizationResult(
+        label=label,
+        runtime_s=result.roi_s,
+        cpu_busy_s=result.busy_time(Component.CPU),
+        copy_busy_s=result.busy_time(Component.COPY),
+        gpu_busy_s=result.busy_time(Component.GPU),
+        gpu_utilization=result.utilization(Component.GPU),
+        estimated=False,
+        result=result,
+    )
+
+
+def case_study(
+    pipeline: Pipeline,
+    *,
+    options: Optional[SimOptions] = None,
+    streams: int = 3,
+    chunks: int = 8,
+    discrete: Optional[SystemConfig] = None,
+    heterogeneous: Optional[SystemConfig] = None,
+) -> List[OrganizationResult]:
+    """Run the five-organization Fig. 3 sequence for one benchmark.
+
+    ``streams`` matches the paper's "3-wide asynchronous stream
+    organization"; ``chunks`` controls the parallel producer-consumer data
+    granularity (small enough chunks let consumers hit in cache).
+    """
+    options = options or SimOptions()
+    discrete = discrete or discrete_gpu_system()
+    heterogeneous = heterogeneous or heterogeneous_processor()
+    if pipeline.limited_copy:
+        raise ValueError("case_study expects the copy (discrete) pipeline version")
+
+    out: List[OrganizationResult] = []
+
+    baseline = simulate(pipeline, discrete, options)
+    out.append(_from_sim(BASELINE, baseline))
+
+    fissioned = fission_async_streams(pipeline, streams)
+    out.append(_from_sim(ASYNC_COPY, simulate(fissioned, discrete, options)))
+
+    limited = remove_copies(pipeline)
+    no_copy = simulate(limited, heterogeneous, options)
+    out.append(_from_sim(NO_COPY, no_copy))
+
+    # Parallel*: Eq. 1 estimate over the no-copy component times, assuming
+    # consumers start as soon as producers generate output.
+    times = ComponentTimes.from_result(no_copy)
+    estimate = component_overlap_runtime(times)
+    out.append(
+        OrganizationResult(
+            label=PARALLEL,
+            runtime_s=estimate.runtime_s,
+            cpu_busy_s=times.cpu_s,
+            copy_busy_s=times.copy_s,
+            gpu_busy_s=times.gpu_s,
+            gpu_utilization=(
+                times.gpu_s / estimate.runtime_s if estimate.runtime_s else 0.0
+            ),
+            estimated=True,
+        )
+    )
+
+    chunked = parallel_producer_consumer(limited, chunks)
+    out.append(_from_sim(PARALLEL_CACHE, simulate(chunked, heterogeneous, options)))
+    return out
+
+
+def kmeans_case_study(
+    options: Optional[SimOptions] = None,
+    streams: int = 3,
+    chunks: int = 64,
+) -> List[OrganizationResult]:
+    """Fig. 3: the kmeans case study.
+
+    ``chunks`` defaults to 64 so each chunk's intermediate data (assignments
+    plus partial sums) fits comfortably in the GPU L2 and the CPU consumer
+    hits in cache — the "small enough intermediate data" condition of
+    Section II-B.
+    """
+    from repro.workloads.suites.rodinia import kmeans_pipeline
+
+    return case_study(
+        kmeans_pipeline(), options=options, streams=streams, chunks=chunks
+    )
+
+
+def as_table(results: List[OrganizationResult]) -> Dict[str, Dict[str, float]]:
+    """Normalized run times and utilizations keyed by organization label."""
+    baseline = results[0].runtime_s
+    return {
+        r.label: {
+            "runtime_s": r.runtime_s,
+            "normalized_runtime": r.normalized(baseline),
+            "gpu_utilization": r.gpu_utilization,
+            "cpu_busy_s": r.cpu_busy_s,
+            "copy_busy_s": r.copy_busy_s,
+            "gpu_busy_s": r.gpu_busy_s,
+        }
+        for r in results
+    }

@@ -1,0 +1,149 @@
+"""Off-chip memory access classification (Section V-C, Fig. 9).
+
+Every access at the off-chip interface is labelled from its relationship to
+the previous (for reads) or next (for writebacks) off-chip access to the
+same cache block, measured in pipeline-stage distance:
+
+* **REQUIRED** — compulsory accesses (first read of / last write to a block)
+  and long-range reuse spanning multiple pipeline stages.
+* **WR_SPILL** — producer-consumer data written back in one stage and read
+  in the next: the producing writeback and the consuming read.
+* **RR_SPILL** — data read in consecutive stages (shared stage inputs).
+* **RR_CONTENTION** — a block re-read within the same stage after capacity
+  contention evicted it.
+* **WR_CONTENTION** — a block written back and re-read within the same
+  stage (the writeback happened before all uses completed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.sim.results import SimResult
+
+
+class AccessClass(enum.Enum):
+    REQUIRED = "required"
+    WR_SPILL = "w-r spill"
+    RR_SPILL = "r-r spill"
+    RR_CONTENTION = "r-r contention"
+    WR_CONTENTION = "w-r contention"
+
+
+_CODE = {
+    AccessClass.REQUIRED: 0,
+    AccessClass.WR_SPILL: 1,
+    AccessClass.RR_SPILL: 2,
+    AccessClass.RR_CONTENTION: 3,
+    AccessClass.WR_CONTENTION: 4,
+}
+_CLASS_OF_CODE = {code: cls for cls, code in _CODE.items()}
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Fig. 9 output for one simulation run."""
+
+    counts: Dict[AccessClass, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, cls: AccessClass) -> float:
+        return self.counts[cls] / self.total if self.total else 0.0
+
+    @property
+    def spill_fraction(self) -> float:
+        return self.fraction(AccessClass.WR_SPILL) + self.fraction(AccessClass.RR_SPILL)
+
+    @property
+    def contention_fraction(self) -> float:
+        return self.fraction(AccessClass.RR_CONTENTION) + self.fraction(
+            AccessClass.WR_CONTENTION
+        )
+
+    @property
+    def avoidable(self) -> int:
+        """Accesses that better pipeline organization or caching could remove."""
+        return self.total - self.counts[AccessClass.REQUIRED]
+
+
+def classify_log(
+    blocks: np.ndarray,
+    is_write: np.ndarray,
+    logical_stage: np.ndarray,
+) -> np.ndarray:
+    """Label every off-chip access; returns an int8 array of class codes.
+
+    ``logical_stage`` gives, per access, the pipeline-stage index at which
+    it occurred; accesses are in program order.
+    """
+    n = len(blocks)
+    labels = np.full(n, _CODE[AccessClass.REQUIRED], dtype=np.int8)
+    if not n:
+        return labels
+
+    # Stable sort by block keeps program order within each block's group.
+    order = np.lexsort((np.arange(n), blocks))
+    b = blocks[order]
+    w = is_write[order]
+    stage = logical_stage[order].astype(np.int64)
+
+    same_prev = np.zeros(n, dtype=bool)
+    same_prev[1:] = b[1:] == b[:-1]
+    same_next = np.zeros(n, dtype=bool)
+    same_next[:-1] = b[:-1] == b[1:]
+
+    prev_w = np.zeros(n, dtype=bool)
+    prev_w[1:] = w[:-1]
+    prev_stage = np.zeros(n, dtype=np.int64)
+    prev_stage[1:] = stage[:-1]
+    next_w = np.zeros(n, dtype=bool)
+    next_w[:-1] = w[1:]
+    next_stage = np.zeros(n, dtype=np.int64)
+    next_stage[:-1] = stage[1:]
+
+    sorted_labels = np.full(n, _CODE[AccessClass.REQUIRED], dtype=np.int8)
+
+    # Reads: classified against the previous access to the block.
+    reads = ~w & same_prev
+    dist = stage - prev_stage
+    mask = reads & (dist == 0) & prev_w
+    sorted_labels[mask] = _CODE[AccessClass.WR_CONTENTION]
+    mask = reads & (dist == 0) & ~prev_w
+    sorted_labels[mask] = _CODE[AccessClass.RR_CONTENTION]
+    mask = reads & (dist == 1) & prev_w
+    sorted_labels[mask] = _CODE[AccessClass.WR_SPILL]
+    mask = reads & (dist == 1) & ~prev_w
+    sorted_labels[mask] = _CODE[AccessClass.RR_SPILL]
+    # dist > 1 and first-touches stay REQUIRED.
+
+    # Writebacks: classified against the next access when it is a read;
+    # final writes (or writes overwritten later) are REQUIRED.
+    writes = w & same_next & ~next_w
+    ndist = next_stage - stage
+    mask = writes & (ndist == 0)
+    sorted_labels[mask] = _CODE[AccessClass.WR_CONTENTION]
+    mask = writes & (ndist == 1)
+    sorted_labels[mask] = _CODE[AccessClass.WR_SPILL]
+    # ndist > 1 stays REQUIRED (long-range).
+
+    labels[order] = sorted_labels
+    return labels
+
+
+def classify_result(result: SimResult) -> Classification:
+    """Fig. 9 classification for one simulation run."""
+    logical = result.logical_of_ordinal[result.log_stage]
+    labels = classify_log(result.log_blocks, result.log_is_write, logical)
+    counts = {cls: 0 for cls in AccessClass}
+    if len(labels):
+        codes, tallies = np.unique(labels, return_counts=True)
+        for code, tally in zip(codes, tallies):
+            counts[_CLASS_OF_CODE[int(code)]] = int(tally)
+    return Classification(counts=counts)

@@ -1,0 +1,91 @@
+"""The migrated-compute analytical model (Section V-B, Eqs. 2-4).
+
+Optimistically assumes every compute phase can be distributed across CPU and
+GPU cores in proportion to their peak FLOP rates, bounded by copy time and
+by off-chip memory bandwidth:
+
+    Rmc_core = (C * Fcpu + G * Fgpu) / (Fcpu + Fgpu)      (2)
+    Rmc_BW   = M / BWmem                                  (3)
+    Rmc      = max(P, Rmc_core, Rmc_BW)                   (4)
+
+where C, P, G are component busy times, Fcpu/Fgpu the peak FLOP rates, M
+the total off-chip traffic in bytes, and BWmem the peak *achieved* memory
+bandwidth (~82% of pin bandwidth).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config.system import SystemConfig, SystemKind
+from repro.core.overlap import ComponentTimes
+from repro.sim.results import SimResult
+
+
+class MigrateBound(enum.Enum):
+    """Which term of Eq. 4 limits the migrated-compute run time."""
+
+    COPY = "copy"
+    CORE = "core"
+    BANDWIDTH = "bandwidth"
+
+
+@dataclass(frozen=True)
+class MigrateEstimate:
+    runtime_s: float
+    core_bound_s: float
+    bandwidth_bound_s: float
+    copy_bound_s: float
+    bound: MigrateBound
+
+
+def achieved_bandwidth(system: SystemConfig) -> float:
+    """BWmem of Eq. 3: all off-chip bandwidth migrated work could use.
+
+    On the heterogeneous processor this is the shared GDDR5 pool; on the
+    discrete system the migrated work is spread across both chips, so both
+    pools contribute.
+    """
+    if system.kind is SystemKind.HETEROGENEOUS:
+        return system.gpu_memory.achievable_bandwidth
+    return (
+        system.cpu_memory.achievable_bandwidth
+        + system.gpu_memory.achievable_bandwidth
+    )
+
+
+def migrated_compute_runtime(
+    times: ComponentTimes,
+    system: SystemConfig,
+    offchip_bytes: float,
+) -> MigrateEstimate:
+    """Apply Eqs. 2-4 to measured component times and memory traffic."""
+    if offchip_bytes < 0:
+        raise ValueError("offchip_bytes must be non-negative")
+    f_cpu = system.cpu.peak_flops
+    f_gpu = system.gpu.peak_flops
+    core = (times.cpu_s * f_cpu + times.gpu_s * f_gpu) / (f_cpu + f_gpu)
+    bandwidth = offchip_bytes / achieved_bandwidth(system)
+    bounds = {
+        MigrateBound.COPY: times.copy_s,
+        MigrateBound.CORE: core,
+        MigrateBound.BANDWIDTH: bandwidth,
+    }
+    bound = max(bounds, key=lambda b: bounds[b])
+    return MigrateEstimate(
+        runtime_s=bounds[bound],
+        core_bound_s=core,
+        bandwidth_bound_s=bandwidth,
+        copy_bound_s=times.copy_s,
+        bound=bound,
+    )
+
+
+def estimate_from_result(result: SimResult, system: SystemConfig) -> MigrateEstimate:
+    """Convenience: Eqs. 2-4 directly from a simulation result."""
+    return migrated_compute_runtime(
+        ComponentTimes.from_result(result),
+        system,
+        offchip_bytes=float(result.offchip_bytes()),
+    )

@@ -1,0 +1,186 @@
+"""Reuse analysis: miss-ratio curves and concurrent-footprint estimation.
+
+Section V-C argues that "further producer-consumer analysis techniques
+should improve identification of a task's live data and estimation of
+concurrent memory footprint to aid the programmer in placing data in
+available cache".  This module provides those techniques:
+
+* :func:`reuse_time_histogram` — distribution of distances (in accesses)
+  between touches of the same block;
+* :func:`miss_ratio_curve` — hit ratio as a function of cache capacity,
+  obtained by replaying a stream through progressively larger caches;
+* :func:`stage_footprints` / :func:`concurrent_footprint_report` — the
+  per-stage live-data sizes a programmer must fit in cache to avoid the
+  Fig. 9 contention classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.components import CacheConfig
+from repro.pipeline.graph import Pipeline
+from repro.sim.cache import SetAssocCache
+from repro.trace.generator import TraceGenerator
+from repro.trace.stream import AccessStream
+
+
+def reuse_time_histogram(
+    stream: AccessStream,
+    bin_edges: Sequence[int] = (1, 16, 256, 4096, 65536),
+) -> Dict[str, int]:
+    """Histogram of reuse times (accesses between touches of one block).
+
+    Returns counts per bin plus a ``"cold"`` bin for first touches.  Reuse
+    *time* is an upper bound on stack reuse *distance*, so a spike beyond
+    the cache's line count predicts the contention classes of Fig. 9.
+    """
+    edges = list(bin_edges)
+    if edges != sorted(edges) or len(set(edges)) != len(edges):
+        raise ValueError("bin_edges must be strictly increasing")
+    labels = [f"<={edge}" for edge in edges] + [f">{edges[-1]}"]
+    counts = {label: 0 for label in labels}
+    counts["cold"] = 0
+    n = len(stream)
+    if not n:
+        return counts
+
+    order = np.lexsort((np.arange(n), stream.blocks))
+    sorted_blocks = stream.blocks[order]
+    positions = np.arange(n)[order]
+    same = np.zeros(n, dtype=bool)
+    same[1:] = sorted_blocks[1:] == sorted_blocks[:-1]
+    gaps = np.empty(n, dtype=np.int64)
+    gaps[1:] = positions[1:] - positions[:-1]
+    gaps[0] = 0
+
+    counts["cold"] = int((~same).sum())
+    reuse_gaps = gaps[same]
+    previous_edge = 0
+    for edge, label in zip(edges, labels):
+        in_bin = ((reuse_gaps > previous_edge) & (reuse_gaps <= edge)).sum()
+        counts[label] = int(in_bin)
+        previous_edge = edge
+    counts[labels[-1]] = int((reuse_gaps > edges[-1]).sum())
+    return counts
+
+
+@dataclass(frozen=True)
+class MissRatioPoint:
+    capacity_bytes: int
+    accesses: int
+    misses: int
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        return 1.0 - self.miss_ratio
+
+
+def miss_ratio_curve(
+    stream: AccessStream,
+    capacities: Sequence[int],
+    line_bytes: int = 128,
+    associativity: int = 16,
+) -> List[MissRatioPoint]:
+    """Replay a stream through caches of increasing capacity.
+
+    The knee of the curve is the stream's working-set size: the capacity a
+    coordinated cache-management policy must reserve to keep the stage's
+    live data on chip.
+    """
+    points: List[MissRatioPoint] = []
+    for capacity in capacities:
+        granule = line_bytes * associativity
+        usable = max(granule, (capacity // granule) * granule)
+        cache = SetAssocCache(
+            CacheConfig(usable, line_bytes=line_bytes, associativity=associativity)
+        )
+        cache.access_stream(stream)
+        points.append(
+            MissRatioPoint(
+                capacity_bytes=usable,
+                accesses=cache.stats.accesses,
+                misses=cache.stats.misses,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class StageFootprint:
+    """Live-data summary for one pipeline stage."""
+
+    stage: str
+    unique_bytes: int
+    accesses: int
+
+    @property
+    def reuse_factor(self) -> float:
+        """Accesses per unique line: >1 means in-stage temporal reuse that a
+        sufficiently large cache could capture."""
+        lines = self.unique_bytes // 128
+        return self.accesses / lines if lines else 0.0
+
+
+def stage_footprints(
+    pipeline: Pipeline, seed: int = 0, line_bytes: int = 128
+) -> List[StageFootprint]:
+    """Unique bytes touched per stage, in topological order."""
+    generator = TraceGenerator(pipeline, line_bytes=line_bytes, seed=seed)
+    out: List[StageFootprint] = []
+    for stage in pipeline.topological_order():
+        trace = generator.stage_trace(stage)
+        out.append(
+            StageFootprint(
+                stage=stage.name,
+                unique_bytes=trace.bytes_touched,
+                accesses=len(trace.stream),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ConcurrentFootprintReport:
+    """What the programmer must fit in cache, stage by stage."""
+
+    footprints: Tuple[StageFootprint, ...]
+    cache_bytes: int
+
+    @property
+    def max_stage_bytes(self) -> int:
+        return max((f.unique_bytes for f in self.footprints), default=0)
+
+    @property
+    def overcommitted_stages(self) -> Tuple[StageFootprint, ...]:
+        """Stages whose live data exceeds the cache — the contention
+        candidates of Fig. 9."""
+        return tuple(
+            f for f in self.footprints if f.unique_bytes > self.cache_bytes
+        )
+
+    def recommended_chunks(self, stage: str) -> int:
+        """Chunk count that fits the stage's live data in half the cache
+        (leaving room for the consumer), as in the kmeans case study."""
+        footprint = next(f for f in self.footprints if f.stage == stage)
+        target = max(1, self.cache_bytes // 2)
+        return max(1, -(-footprint.unique_bytes // target))
+
+
+def concurrent_footprint_report(
+    pipeline: Pipeline,
+    cache_bytes: int,
+    seed: int = 0,
+) -> ConcurrentFootprintReport:
+    """Build the Section V-C programmer-aid report for a pipeline."""
+    return ConcurrentFootprintReport(
+        footprints=tuple(stage_footprints(pipeline, seed=seed)),
+        cache_bytes=cache_bytes,
+    )

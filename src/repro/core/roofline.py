@@ -1,0 +1,124 @@
+"""Roofline analysis of simulated runs.
+
+Places every stage on the classic roofline: operational intensity
+(FLOPs per off-chip byte) against attained FLOP rate, bounded by the
+component's peak compute rate and the memory system's achievable bandwidth.
+Useful for seeing at a glance which stages the paper's bandwidth-limited
+(``*``) annotation applies to and how far each sits from either roof.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.config.system import SystemConfig, SystemKind
+from repro.sim.hierarchy import Component
+from repro.sim.results import SimResult, StageRecord
+
+
+class RooflineBound(enum.Enum):
+    COMPUTE = "compute"
+    MEMORY = "memory"
+    LATENCY = "latency"
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One stage's position on the roofline."""
+
+    stage: str
+    component: Component
+    flops: float
+    offchip_bytes: int
+    duration_s: float
+    peak_flops: float
+    peak_bandwidth: float
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOPs per off-chip byte (inf for traffic-free stages)."""
+        if not self.offchip_bytes:
+            return float("inf") if self.flops else 0.0
+        return self.flops / self.offchip_bytes
+
+    @property
+    def attained_flops(self) -> float:
+        return self.flops / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity at which the compute and memory roofs meet."""
+        return self.peak_flops / self.peak_bandwidth
+
+    @property
+    def roof_flops(self) -> float:
+        """The roofline bound at this stage's intensity."""
+        intensity = self.operational_intensity
+        if intensity == float("inf"):
+            return self.peak_flops
+        return min(self.peak_flops, intensity * self.peak_bandwidth)
+
+    @property
+    def bound(self) -> RooflineBound:
+        if self.operational_intensity >= self.ridge_intensity:
+            return RooflineBound.COMPUTE
+        return RooflineBound.MEMORY
+
+    @property
+    def efficiency(self) -> float:
+        """Attained rate as a fraction of the roof (<=1 up to model noise)."""
+        roof = self.roof_flops
+        return self.attained_flops / roof if roof else 0.0
+
+
+def _peak_for(record: StageRecord, system: SystemConfig) -> float:
+    if record.component is Component.CPU:
+        return system.cpu.peak_flops
+    return system.gpu.peak_flops
+
+
+def _bandwidth_for(record: StageRecord, system: SystemConfig) -> float:
+    if system.kind is SystemKind.HETEROGENEOUS:
+        return system.gpu_memory.achievable_bandwidth
+    if record.component is Component.CPU:
+        return system.cpu_memory.achievable_bandwidth
+    return system.gpu_memory.achievable_bandwidth
+
+
+def roofline_report(
+    result: SimResult, system: SystemConfig, min_flops: float = 1.0
+) -> List[RooflinePoint]:
+    """Roofline points for every compute stage of a run.
+
+    Copy stages and zero-FLOP barriers are skipped (they have no place on a
+    compute roofline).
+    """
+    points: List[RooflinePoint] = []
+    for record in result.stages:
+        if record.component is Component.COPY or record.flops < min_flops:
+            continue
+        points.append(
+            RooflinePoint(
+                stage=record.name,
+                component=record.component,
+                flops=record.flops,
+                offchip_bytes=record.offchip_accesses * result.line_bytes,
+                duration_s=record.duration_s,
+                peak_flops=_peak_for(record, system),
+                peak_bandwidth=_bandwidth_for(record, system),
+            )
+        )
+    return points
+
+
+def memory_bound_fraction(points: List[RooflinePoint]) -> float:
+    """Fraction of stage time spent under the memory roof."""
+    total = sum(p.duration_s for p in points)
+    if not total:
+        return 0.0
+    memory = sum(
+        p.duration_s for p in points if p.bound is RooflineBound.MEMORY
+    )
+    return memory / total

@@ -1,0 +1,45 @@
+"""Experiment harnesses: one module per table/figure of the paper."""
+
+from repro.experiments import (
+    ablations,
+    advisor,
+    compare,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table2,
+    validation,
+)
+from repro.experiments.runner import (
+    COPY,
+    DEFAULT_BENCH_SCALE,
+    LIMITED,
+    BenchmarkRun,
+    SweepRunner,
+    default_runner,
+)
+
+__all__ = [
+    "BenchmarkRun",
+    "COPY",
+    "DEFAULT_BENCH_SCALE",
+    "LIMITED",
+    "SweepRunner",
+    "ablations",
+    "advisor",
+    "compare",
+    "default_runner",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table2",
+    "validation",
+]

@@ -1,0 +1,165 @@
+"""Sweep comparison and stability analysis.
+
+Reproduction results should not hinge on the trace seed or the simulation
+scale.  This module quantifies that: it runs the same sweep under two
+configurations and reports, per benchmark, how much the figures' headline
+quantities move.  Used by the test suite as a regression guard and
+available to users who change model constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.classify import classify_result
+from repro.experiments.report import format_table
+from repro.experiments.runner import SweepRunner
+from repro.sim.engine import SimOptions
+from repro.workloads.registry import simulatable_specs
+from repro.workloads.spec import BenchmarkSpec
+
+
+@dataclass(frozen=True)
+class BenchmarkDelta:
+    """Relative movement of one benchmark's headline quantities."""
+
+    benchmark: str
+    runtime_ratio_a: float  # limited/copy under configuration A
+    runtime_ratio_b: float
+    contention_a: float
+    contention_b: float
+
+    @property
+    def runtime_ratio_drift(self) -> float:
+        if not self.runtime_ratio_a:
+            return 0.0
+        return abs(self.runtime_ratio_b - self.runtime_ratio_a) / self.runtime_ratio_a
+
+    @property
+    def contention_drift(self) -> float:
+        return abs(self.contention_b - self.contention_a)
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    label_a: str
+    label_b: str
+    deltas: List[BenchmarkDelta]
+
+    @property
+    def max_runtime_drift(self) -> float:
+        return max((d.runtime_ratio_drift for d in self.deltas), default=0.0)
+
+    @property
+    def mean_runtime_drift(self) -> float:
+        if not self.deltas:
+            return 0.0
+        return sum(d.runtime_ratio_drift for d in self.deltas) / len(self.deltas)
+
+    @property
+    def max_contention_drift(self) -> float:
+        return max((d.contention_drift for d in self.deltas), default=0.0)
+
+    def render(self) -> str:
+        table = format_table(
+            (
+                "Benchmark",
+                f"lc/copy [{self.label_a}]",
+                f"lc/copy [{self.label_b}]",
+                "drift",
+                f"contention [{self.label_a}]",
+                f"contention [{self.label_b}]",
+            ),
+            [
+                (
+                    d.benchmark,
+                    d.runtime_ratio_a,
+                    d.runtime_ratio_b,
+                    f"{d.runtime_ratio_drift:.1%}",
+                    d.contention_a,
+                    d.contention_b,
+                )
+                for d in self.deltas
+            ],
+            title=f"Sweep comparison: {self.label_a} vs {self.label_b}",
+        )
+        return (
+            f"{table}\n\nmean runtime-ratio drift: {self.mean_runtime_drift:.1%}; "
+            f"max: {self.max_runtime_drift:.1%}; "
+            f"max contention drift: {self.max_contention_drift:.2f}"
+        )
+
+
+def _measure(runner: SweepRunner, spec: BenchmarkSpec) -> Dict[str, float]:
+    pair = runner.pair(spec)
+    classification = classify_result(pair.limited)
+    return {
+        "runtime_ratio": (
+            pair.limited.roi_s / pair.copy.roi_s if pair.copy.roi_s else 0.0
+        ),
+        "contention": classification.contention_fraction,
+    }
+
+
+def compare_sweeps(
+    options_a: SimOptions,
+    options_b: SimOptions,
+    specs: Optional[Iterable[BenchmarkSpec]] = None,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> ComparisonReport:
+    """Run the sweep twice and report per-benchmark drift."""
+    specs = list(specs) if specs is not None else list(simulatable_specs())
+    runner_a = SweepRunner(options=options_a)
+    runner_b = SweepRunner(options=options_b)
+    deltas: List[BenchmarkDelta] = []
+    for spec in specs:
+        a = _measure(runner_a, spec)
+        b = _measure(runner_b, spec)
+        deltas.append(
+            BenchmarkDelta(
+                benchmark=spec.full_name,
+                runtime_ratio_a=a["runtime_ratio"],
+                runtime_ratio_b=b["runtime_ratio"],
+                contention_a=a["contention"],
+                contention_b=b["contention"],
+            )
+        )
+    return ComparisonReport(label_a=label_a, label_b=label_b, deltas=deltas)
+
+
+def seed_stability(
+    seeds: Iterable[int] = (0, 1),
+    scale: float = 1 / 64,
+    specs: Optional[Iterable[BenchmarkSpec]] = None,
+) -> ComparisonReport:
+    """Drift between two trace seeds: should be small (random patterns only)."""
+    seeds = list(seeds)
+    if len(seeds) != 2:
+        raise ValueError("seed_stability compares exactly two seeds")
+    return compare_sweeps(
+        SimOptions(scale=scale, seed=seeds[0]),
+        SimOptions(scale=scale, seed=seeds[1]),
+        specs=specs,
+        label_a=f"seed {seeds[0]}",
+        label_b=f"seed {seeds[1]}",
+    )
+
+
+def scale_stability(
+    scales: Iterable[float] = (1 / 32, 1 / 64),
+    seed: int = 0,
+    specs: Optional[Iterable[BenchmarkSpec]] = None,
+) -> ComparisonReport:
+    """Drift between two scales: ratios should be scale-invariant."""
+    scales = list(scales)
+    if len(scales) != 2:
+        raise ValueError("scale_stability compares exactly two scales")
+    return compare_sweeps(
+        SimOptions(scale=scales[0], seed=seed),
+        SimOptions(scale=scales[1], seed=seed),
+        specs=specs,
+        label_a=f"scale {scales[0]:g}",
+        label_b=f"scale {scales[1]:g}",
+    )

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment outputs.
+
+The harness prints the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, float_digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_cell(c, float_digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Render rows as CSV (for plotting tools); quotes cells with commas."""
+
+    def cell(value: Cell) -> str:
+        text = "" if value is None else (
+            repr(value) if isinstance(value, float) else str(value)
+        )
+        if "," in text or '"' in text or "\n" in text:
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(h) for h in headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        lines.append(",".join(cell(c) for c in row))
+    return "\n".join(lines)
+
+
+def format_mapping(title: str, mapping: Mapping[str, Cell], float_digits: int = 3) -> str:
+    """Render a key/value block (used for summary statistics)."""
+    width = max((len(k) for k in mapping), default=0)
+    lines = [title, "=" * len(title)]
+    for key, value in mapping.items():
+        lines.append(f"{key.ljust(width)}  {format_cell(value, float_digits)}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Shared sweep runner with result caching.
+
+Every figure of Section IV/V is computed from the same 46-benchmark sweep:
+the copy version on the discrete GPU system and the limited-copy version on
+the heterogeneous processor.  The runner memoizes simulation results so the
+per-figure harnesses (and the pytest benchmarks) reuse one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.config.system import (
+    SystemConfig,
+    discrete_gpu_system,
+    heterogeneous_processor,
+)
+from repro.pipeline.transforms import remove_copies
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.results import SimResult
+from repro.workloads.registry import simulatable_specs
+from repro.workloads.spec import BenchmarkSpec
+
+#: Default footprint/cache scale for the benchmark harness.  1/32 keeps a
+#: full 46x2 sweep around a minute while preserving the footprint-to-cache
+#: ratios that drive every figure (see DESIGN.md); pass --scale to the CLI
+#: (or a custom SimOptions) for paper-scale runs.
+DEFAULT_BENCH_SCALE = 1 / 32
+
+COPY = "copy"
+LIMITED = "limited-copy"
+VERSIONS = (COPY, LIMITED)
+
+
+@dataclass(frozen=True)
+class BenchmarkRun:
+    """The pair of runs every figure compares."""
+
+    spec: BenchmarkSpec
+    copy: SimResult
+    limited: SimResult
+
+
+class SweepRunner:
+    """Runs and caches the copy / limited-copy sweep."""
+
+    def __init__(
+        self,
+        options: Optional[SimOptions] = None,
+        discrete: Optional[SystemConfig] = None,
+        heterogeneous: Optional[SystemConfig] = None,
+    ):
+        self.options = options or SimOptions(scale=DEFAULT_BENCH_SCALE)
+        self.discrete = discrete or discrete_gpu_system()
+        self.heterogeneous = heterogeneous or heterogeneous_processor()
+        self._cache: Dict[Tuple[str, str], SimResult] = {}
+
+    def run(self, spec: BenchmarkSpec, version: str) -> SimResult:
+        """Simulate one benchmark version (cached)."""
+        if version not in VERSIONS:
+            raise ValueError(f"unknown version {version!r}; choose from {VERSIONS}")
+        key = (spec.full_name, version)
+        if key not in self._cache:
+            pipeline = spec.pipeline()
+            if version == COPY:
+                result = simulate(pipeline, self.discrete, self.options)
+            else:
+                result = simulate(
+                    remove_copies(pipeline), self.heterogeneous, self.options
+                )
+            self._cache[key] = result
+        return self._cache[key]
+
+    def pair(self, spec: BenchmarkSpec) -> BenchmarkRun:
+        return BenchmarkRun(
+            spec=spec,
+            copy=self.run(spec, COPY),
+            limited=self.run(spec, LIMITED),
+        )
+
+    def sweep(
+        self, specs: Optional[Iterable[BenchmarkSpec]] = None
+    ) -> Dict[str, BenchmarkRun]:
+        """Run the full (or a restricted) sweep; keyed by full benchmark name."""
+        specs = list(specs) if specs is not None else list(simulatable_specs())
+        return {spec.full_name: self.pair(spec) for spec in specs}
+
+
+_default_runner: Optional[SweepRunner] = None
+
+
+def default_runner() -> SweepRunner:
+    """Process-wide shared runner so harnesses reuse one sweep."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = SweepRunner()
+    return _default_runner

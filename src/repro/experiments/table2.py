@@ -1,0 +1,96 @@
+"""Table II: producer-consumer relationships in benchmarks.
+
+Counts benchmark pipeline characteristics per suite over all 58 benchmarks:
+producer-consumer communication, pipeline parallelizability, regular and
+irregular P-C constructs, and software-queue use.  The reproduction's
+registry is constructed to match the published counts exactly, and
+:data:`PAPER_TABLE2` records them for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.report import format_table
+from repro.workloads.registry import SUITES, all_specs, suite_specs
+
+#: Published Table II rows: (num, pc_comm, pipe_paral, regular, irregular, swq).
+PAPER_TABLE2: Dict[str, Tuple[int, int, int, int, int, int]] = {
+    "lonestar": (14, 14, 13, 14, 13, 10),
+    "pannotia": (10, 10, 10, 10, 10, 0),
+    "parboil": (12, 8, 8, 8, 3, 1),
+    "rodinia": (22, 19, 18, 19, 6, 0),
+    "total": (58, 51, 49, 51, 32, 11),
+}
+
+HEADERS = (
+    "Suite",
+    "Num.",
+    "P-C Comm.",
+    "Pipe Paral.",
+    "Regular",
+    "Irregular",
+    "SW Queue",
+)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    suite: str
+    num: int
+    pc_comm: int
+    pipe_parallel: int
+    regular: int
+    irregular: int
+    sw_queue: int
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int, int]:
+        return (
+            self.num,
+            self.pc_comm,
+            self.pipe_parallel,
+            self.regular,
+            self.irregular,
+            self.sw_queue,
+        )
+
+
+def _count(specs) -> Table2Row:
+    return Table2Row(
+        suite="",
+        num=len(specs),
+        pc_comm=sum(s.pc_comm for s in specs),
+        pipe_parallel=sum(s.pipe_parallel for s in specs),
+        regular=sum(s.regular_pc for s in specs),
+        irregular=sum(s.irregular for s in specs),
+        sw_queue=sum(s.sw_queue for s in specs),
+    )
+
+
+def run() -> List[Table2Row]:
+    """Compute Table II from the benchmark registry."""
+    rows: List[Table2Row] = []
+    for suite in SUITES:
+        counted = _count(suite_specs(suite))
+        rows.append(
+            Table2Row(suite, *counted.as_tuple())
+        )
+    total = _count(all_specs())
+    rows.append(Table2Row("total", *total.as_tuple()))
+    return rows
+
+
+def matches_paper(rows: List[Table2Row]) -> bool:
+    return all(row.as_tuple() == PAPER_TABLE2[row.suite] for row in rows)
+
+
+def render() -> str:
+    rows = run()
+    table = format_table(
+        HEADERS,
+        [(r.suite, *r.as_tuple()) for r in rows],
+        title="Table II: Producer-consumer relationships in benchmarks",
+    )
+    status = "MATCH" if matches_paper(rows) else "MISMATCH"
+    return f"{table}\n\nPaper comparison: {status}"

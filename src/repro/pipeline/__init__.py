@@ -1,0 +1,55 @@
+"""Pipeline IR: benchmarks as DAGs of CPU / GPU / copy stages over buffers."""
+
+from repro.pipeline.buffers import Buffer, MemorySpace
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.dynpar import count_device_launched, dynamic_parallelism
+from repro.pipeline.fusion import fuse_kernels, migrate_kernels_to_cpu
+from repro.pipeline.graph import Pipeline, PipelineError
+from repro.pipeline.patterns import (
+    IRREGULAR_PATTERNS,
+    LATENCY_BOUND_PATTERNS,
+    AccessPattern,
+)
+from repro.pipeline.stage import (
+    FULL_REGION,
+    BufferAccess,
+    KernelResources,
+    Region,
+    Stage,
+    StageKind,
+    copy_stage,
+)
+from repro.pipeline.transforms import (
+    chunk_stages,
+    fission_async_streams,
+    migrate_compute,
+    parallel_producer_consumer,
+    remove_copies,
+)
+
+__all__ = [
+    "AccessPattern",
+    "Buffer",
+    "BufferAccess",
+    "FULL_REGION",
+    "KernelResources",
+    "IRREGULAR_PATTERNS",
+    "LATENCY_BOUND_PATTERNS",
+    "MemorySpace",
+    "Pipeline",
+    "PipelineBuilder",
+    "PipelineError",
+    "Region",
+    "Stage",
+    "StageKind",
+    "chunk_stages",
+    "copy_stage",
+    "count_device_launched",
+    "dynamic_parallelism",
+    "fission_async_streams",
+    "fuse_kernels",
+    "migrate_compute",
+    "migrate_kernels_to_cpu",
+    "parallel_producer_consumer",
+    "remove_copies",
+]

@@ -1,0 +1,76 @@
+"""Buffers: the named data arrays a benchmark pipeline operates on.
+
+A buffer is an allocation in one of the two memory spaces of the discrete
+GPU system.  In the heterogeneous processor all buffers live in the single
+shared memory, but the declared space is retained so the porting transform
+(:func:`repro.pipeline.transforms.remove_copies`) can recognize GPU-side
+mirrors of CPU allocations and eliminate them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class MemorySpace(enum.Enum):
+    """Allocation home in the discrete GPU system."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A named, contiguous allocation.
+
+    Attributes:
+        name: unique identifier within a pipeline.
+        size_bytes: allocation size.
+        space: which memory the buffer lives in on the discrete system.
+        mirror_of: name of the CPU buffer this GPU buffer replicates, if any.
+            Mirrors (and the copies that fill them) are what the limited-copy
+            port removes.
+        temporary: GPU-only intermediate data that is never copied (e.g. the
+            large inter-kernel temporaries of Lonestar bh and Rodinia srad).
+        cpu_line_aligned: whether the allocation is cache-line aligned.  CUDA
+            aligns GPU allocations; plain CPU allocations that the GPU
+            accesses directly after copy removal may not be, which elevates
+            GPU cache contention (the ``*`` benchmarks of Fig. 5).
+    """
+
+    name: str
+    size_bytes: int
+    space: MemorySpace = MemorySpace.CPU
+    mirror_of: Optional[str] = None
+    temporary: bool = False
+    cpu_line_aligned: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("buffer name must be non-empty")
+        if self.size_bytes <= 0:
+            raise ValueError(f"buffer {self.name!r} must have positive size")
+        if self.mirror_of is not None and self.space is not MemorySpace.GPU:
+            raise ValueError(f"mirror buffer {self.name!r} must live in GPU space")
+        if self.mirror_of == self.name:
+            raise ValueError(f"buffer {self.name!r} cannot mirror itself")
+
+    @property
+    def is_mirror(self) -> bool:
+        return self.mirror_of is not None
+
+    def scaled(self, factor: float, granule: int = 128) -> "Buffer":
+        """Return a copy with size scaled by ``factor`` (≥ one granule)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        new_size = max(granule, int(round(self.size_bytes * factor)))
+        return Buffer(
+            name=self.name,
+            size_bytes=new_size,
+            space=self.space,
+            mirror_of=self.mirror_of,
+            temporary=self.temporary,
+            cpu_line_aligned=self.cpu_line_aligned,
+        )

@@ -1,0 +1,245 @@
+"""Fluent builder for benchmark pipelines.
+
+Existing GPU computing benchmarks are bulk-synchronous: allocate, copy in,
+launch kernels, copy out, with the CPU orchestrating.  The builder therefore
+chains stages serially by default (each stage depends on the previously
+added one) and lets callers opt out with explicit ``after=`` lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.pipeline.buffers import Buffer, MemorySpace
+from repro.pipeline.graph import Pipeline, PipelineError
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import (
+    BufferAccess,
+    KernelResources,
+    Region,
+    Stage,
+    StageKind,
+    copy_stage,
+)
+
+AccessLike = Union[str, BufferAccess]
+
+
+def _as_access(value: AccessLike, default_pattern: AccessPattern) -> BufferAccess:
+    if isinstance(value, BufferAccess):
+        return value
+    return BufferAccess(value, default_pattern)
+
+
+class PipelineBuilder:
+    """Incrementally construct a :class:`repro.pipeline.graph.Pipeline`."""
+
+    def __init__(self, name: str, metadata: Optional[Dict[str, object]] = None):
+        self._name = name
+        self._buffers: Dict[str, Buffer] = {}
+        self._stages: List[Stage] = []
+        self._last: Optional[str] = None
+        self._metadata = dict(metadata or {})
+        self._counter = 0
+
+    # -- buffers ------------------------------------------------------------
+
+    def buffer(
+        self,
+        name: str,
+        size_bytes: int,
+        *,
+        space: MemorySpace = MemorySpace.CPU,
+        temporary: bool = False,
+        cpu_line_aligned: bool = True,
+    ) -> str:
+        """Declare an allocation; returns the buffer name for chaining."""
+        if name in self._buffers:
+            raise PipelineError(f"duplicate buffer {name!r}")
+        self._buffers[name] = Buffer(
+            name=name,
+            size_bytes=size_bytes,
+            space=space,
+            temporary=temporary,
+            cpu_line_aligned=cpu_line_aligned,
+        )
+        return name
+
+    def mirror(self, cpu_buffer: str, *, name: Optional[str] = None) -> str:
+        """Declare the GPU-side mirror of a CPU allocation (cudaMalloc'd)."""
+        if cpu_buffer not in self._buffers:
+            raise PipelineError(f"cannot mirror unknown buffer {cpu_buffer!r}")
+        base = self._buffers[cpu_buffer]
+        mirror_name = name or f"{cpu_buffer}_dev"
+        if mirror_name in self._buffers:
+            raise PipelineError(f"duplicate buffer {mirror_name!r}")
+        self._buffers[mirror_name] = Buffer(
+            name=mirror_name,
+            size_bytes=base.size_bytes,
+            space=MemorySpace.GPU,
+            mirror_of=cpu_buffer,
+        )
+        return mirror_name
+
+    # -- stages --------------------------------------------------------------
+
+    def _resolve_deps(self, after: Optional[Sequence[str]]) -> Tuple[str, ...]:
+        if after is not None:
+            known = {s.name for s in self._stages}
+            for dep in after:
+                if dep not in known:
+                    raise PipelineError(f"unknown dependency {dep!r}")
+            return tuple(after)
+        if self._last is not None:
+            return (self._last,)
+        return ()
+
+    def _unique(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}_{self._counter}"
+
+    def _add(self, stage: Stage) -> str:
+        if any(s.name == stage.name for s in self._stages):
+            raise PipelineError(f"duplicate stage {stage.name!r}")
+        self._stages.append(stage)
+        self._last = stage.name
+        return stage.name
+
+    def copy_h2d(
+        self,
+        src: str,
+        dst: Optional[str] = None,
+        *,
+        name: Optional[str] = None,
+        mirror: bool = True,
+        region: Region = Region(),
+        after: Optional[Sequence[str]] = None,
+        chunkable: bool = False,
+    ) -> str:
+        """Host-to-device copy.  With no ``dst`` the mirror is looked up or
+        created automatically (the common cudaMemcpy idiom)."""
+        if dst is None:
+            dst = f"{src}_dev"
+            if dst not in self._buffers:
+                self.mirror(src)
+        return self._add(
+            copy_stage(
+                name or self._unique(f"h2d_{src}"),
+                src,
+                dst,
+                mirror=mirror,
+                region=region,
+                depends_on=self._resolve_deps(after),
+                chunkable=chunkable,
+            )
+        )
+
+    def copy_d2h(
+        self,
+        src: str,
+        dst: str,
+        *,
+        name: Optional[str] = None,
+        mirror: bool = True,
+        region: Region = Region(),
+        after: Optional[Sequence[str]] = None,
+        chunkable: bool = False,
+    ) -> str:
+        """Device-to-host copy."""
+        return self._add(
+            copy_stage(
+                name or self._unique(f"d2h_{src}"),
+                src,
+                dst,
+                mirror=mirror,
+                region=region,
+                depends_on=self._resolve_deps(after),
+                chunkable=chunkable,
+            )
+        )
+
+    def gpu_kernel(
+        self,
+        name: str,
+        *,
+        flops: float,
+        reads: Sequence[AccessLike] = (),
+        writes: Sequence[AccessLike] = (),
+        efficiency: float = 0.5,
+        occupancy: float = 1.0,
+        after: Optional[Sequence[str]] = None,
+        chunkable: bool = False,
+        migratable: bool = False,
+        pattern: AccessPattern = AccessPattern.STREAMING,
+        resources: Optional[KernelResources] = None,
+    ) -> str:
+        """Launch a GPU kernel stage."""
+        return self._add(
+            Stage(
+                name=name,
+                kind=StageKind.GPU_KERNEL,
+                flops=flops,
+                reads=tuple(_as_access(r, pattern) for r in reads),
+                writes=tuple(_as_access(w, pattern) for w in writes),
+                depends_on=self._resolve_deps(after),
+                compute_efficiency=efficiency,
+                occupancy=occupancy,
+                chunkable=chunkable,
+                migratable=migratable,
+                resources=resources,
+            )
+        )
+
+    def cpu_stage(
+        self,
+        name: str,
+        *,
+        flops: float,
+        reads: Sequence[AccessLike] = (),
+        writes: Sequence[AccessLike] = (),
+        efficiency: float = 0.5,
+        occupancy: float = 0.25,
+        after: Optional[Sequence[str]] = None,
+        chunkable: bool = False,
+        migratable: bool = False,
+        pattern: AccessPattern = AccessPattern.STREAMING,
+    ) -> str:
+        """Run work on CPU cores.  Default occupancy 0.25 models the common
+        single-threaded host code of these benchmarks (1 of 4 cores)."""
+        return self._add(
+            Stage(
+                name=name,
+                kind=StageKind.CPU,
+                flops=flops,
+                reads=tuple(_as_access(r, pattern) for r in reads),
+                writes=tuple(_as_access(w, pattern) for w in writes),
+                depends_on=self._resolve_deps(after),
+                compute_efficiency=efficiency,
+                occupancy=occupancy,
+                chunkable=chunkable,
+                migratable=migratable,
+            )
+        )
+
+    def barrier(self) -> None:
+        """Subsequent default-chained stages depend on *all* stages so far."""
+        if self._stages:
+            names = tuple(s.name for s in self._stages)
+            sync = Stage(
+                name=self._unique("barrier"),
+                kind=StageKind.CPU,
+                flops=0.0,
+                depends_on=names,
+                compute_efficiency=1.0,
+            )
+            self._add(sync)
+
+    # -- finish -----------------------------------------------------------------
+
+    def build(self) -> Pipeline:
+        return Pipeline(
+            name=self._name,
+            buffers=dict(self._buffers),
+            stages=tuple(self._stages),
+            metadata=self._metadata,
+        )

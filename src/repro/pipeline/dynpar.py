@@ -1,0 +1,126 @@
+"""Dynamic parallelism: device-side kernel launches (Section VI).
+
+CUDA 5.0's dynamic parallelism lets GPU code launch consumer kernels
+directly, eliminating the host round-trip that benchmarks with CPU-checked
+outer loops pay between kernels (the Lonestar/Rodinia-bfs structure of
+Section V-A).  The paper notes, citing Wang and Yalamanchili (IISWC 2014),
+that device-side launch overheads "can outweigh performance benefits" —
+which this model reproduces: the transform removes the flag copy and the
+CPU check, but every device-launched kernel pays the (configurable, higher)
+device launch latency instead of the host's.
+
+:func:`dynamic_parallelism` rewrites a pipeline; the engine honours the
+``device_launched`` stage flag by skipping the CPU launch sliver and
+charging ``SystemConfig.device_launch_latency_s`` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Set, Tuple
+
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.stage import Stage, StageKind
+
+#: Control stages at or below this many FLOPs are considered loop-condition
+#: checks rather than real work.
+CONTROL_FLOPS_THRESHOLD = 1e6
+
+#: Buffers at or below this size are considered control flags.
+CONTROL_BUFFER_BYTES = 64 * 1024
+
+
+def _is_control_copy(pipeline: Pipeline, stage: Stage) -> bool:
+    """A copy that only moves a small flag back to the host."""
+    if stage.kind is not StageKind.COPY:
+        return False
+    src = pipeline.buffers[stage.src]
+    return src.size_bytes <= CONTROL_BUFFER_BYTES
+
+
+def _is_control_check(pipeline: Pipeline, stage: Stage) -> bool:
+    """A tiny CPU stage that only inspects small (flag) buffers."""
+    if stage.kind is not StageKind.CPU:
+        return False
+    if stage.flops > CONTROL_FLOPS_THRESHOLD:
+        return False
+    if not stage.reads and not stage.writes:
+        return False
+    return all(
+        pipeline.buffers[access.buffer].size_bytes <= CONTROL_BUFFER_BYTES
+        for access in stage.accesses
+    )
+
+
+def dynamic_parallelism(pipeline: Pipeline) -> Pipeline:
+    """Replace host-checked kernel loops with device-side launches.
+
+    Flag copies and loop-condition CPU checks are removed; GPU kernels whose
+    (rewired) dependencies are all GPU kernels become device-launched.  The
+    net effect on run time depends on the device launch latency — see the
+    ``bench_ablations`` dynamic-parallelism sweep.
+    """
+    removed: Dict[str, Tuple[str, ...]] = {}
+    survivors: List[Stage] = []
+    for stage in pipeline.stages:
+        if _is_control_copy(pipeline, stage) or _is_control_check(pipeline, stage):
+            removed[stage.name] = stage.depends_on
+        else:
+            survivors.append(stage)
+    if not removed:
+        return pipeline
+
+    def expand(deps: Tuple[str, ...]) -> Tuple[str, ...]:
+        out: List[str] = []
+        seen: Set[str] = set()
+        work = list(deps)
+        while work:
+            dep = work.pop(0)
+            if dep in seen:
+                continue
+            seen.add(dep)
+            if dep in removed:
+                work.extend(removed[dep])
+            else:
+                out.append(dep)
+        return tuple(out)
+
+    rewired = [replace(s, depends_on=expand(s.depends_on)) for s in survivors]
+    by_name = {s.name: s for s in rewired}
+
+    final: List[Stage] = []
+    for stage in rewired:
+        if (
+            stage.kind is StageKind.GPU_KERNEL
+            and stage.depends_on
+            and all(
+                by_name[dep].kind is StageKind.GPU_KERNEL
+                for dep in stage.depends_on
+            )
+        ):
+            final.append(replace(stage, device_launched=True))
+        else:
+            final.append(stage)
+
+    # Drop flag buffers nothing references any more.
+    referenced: Set[str] = set()
+    for stage in final:
+        referenced.update(stage.buffers)
+        if stage.src:
+            referenced.add(stage.src)
+        if stage.dst:
+            referenced.add(stage.dst)
+    buffers = {
+        name: buf for name, buf in pipeline.buffers.items() if name in referenced
+    }
+    return Pipeline(
+        name=pipeline.name,
+        buffers=buffers,
+        stages=tuple(final),
+        limited_copy=pipeline.limited_copy,
+        metadata=dict(pipeline.metadata),
+    )
+
+
+def count_device_launched(pipeline: Pipeline) -> int:
+    return sum(1 for s in pipeline.stages if s.device_launched)

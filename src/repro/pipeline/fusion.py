@@ -1,0 +1,222 @@
+"""Kernel fusion and GPU-to-CPU kernel migration (Section VI directions).
+
+The paper's implications section discusses two further transformations:
+
+* **Kernel fusion** — merging producer and consumer GPU kernels so
+  intermediate data passes through registers/scratch instead of spilling to
+  memory.  Fusion "can encounter resource limitations, such as GPU register
+  and scratch memory capacity", so :func:`fuse_kernels` checks combined
+  :class:`~repro.pipeline.stage.KernelResources` against the Table I core
+  limits before fusing.
+* **Compute migration to CPU cores** — "migrating short-running GPU kernels
+  to CPU cores could increase pipeline compute overlap and increase
+  effective cache capacity"; :func:`migrate_kernels_to_cpu` converts
+  sub-threshold kernels on limited-copy (heterogeneous) pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config.components import GpuConfig
+from repro.pipeline.graph import Pipeline, PipelineError
+from repro.pipeline.stage import BufferAccess, KernelResources, Stage, StageKind
+
+
+def _combined_resources(
+    a: Optional[KernelResources], b: Optional[KernelResources]
+) -> Optional[KernelResources]:
+    """Resource usage of a fused kernel: max threads, summed state."""
+    if a is None and b is None:
+        return None
+    a = a or KernelResources()
+    b = b or KernelResources()
+    return KernelResources(
+        threads_per_cta=max(a.threads_per_cta, b.threads_per_cta),
+        registers_per_thread=a.registers_per_thread + b.registers_per_thread,
+        scratch_bytes_per_cta=a.scratch_bytes_per_cta + b.scratch_bytes_per_cta,
+    )
+
+
+def _fits_on_core(gpu: GpuConfig, resources: Optional[KernelResources]) -> bool:
+    if resources is None:
+        return True
+    warps = -(-resources.threads_per_cta // gpu.threads_per_warp)
+    if warps > gpu.warps_per_core:
+        return False
+    regs = resources.registers_per_thread * resources.threads_per_cta
+    if regs > gpu.registers_per_core:
+        return False
+    return resources.scratch_bytes_per_cta <= gpu.scratch_bytes_per_core
+
+
+def _fusable_pair(
+    pipeline: Pipeline, producer: Stage, consumer: Stage, gpu: GpuConfig
+) -> bool:
+    """Producer/consumer GPU kernels in a straight line, fitting one core."""
+    if producer.kind is not StageKind.GPU_KERNEL:
+        return False
+    if consumer.kind is not StageKind.GPU_KERNEL:
+        return False
+    if consumer.depends_on != (producer.name,):
+        return False
+    dependents = [
+        s for s in pipeline.stages if producer.name in s.depends_on
+    ]
+    if len(dependents) != 1:
+        return False
+    produced = {access.buffer for access in producer.writes}
+    consumed = {access.buffer for access in consumer.reads}
+    if not produced & consumed:
+        return False
+    return _fits_on_core(
+        gpu, _combined_resources(producer.resources, consumer.resources)
+    )
+
+
+def _fuse(producer: Stage, consumer: Stage, outputs: Set[str]) -> Stage:
+    """Merge two kernels, eliminating the register-passed intermediate."""
+    produced = {access.buffer for access in producer.writes}
+    consumed = {access.buffer for access in consumer.reads}
+    intermediate = produced & consumed
+
+    # Buffers read downstream of the fusion (or declared outputs) must still
+    # be written; only pure intermediates disappear.
+    surviving_writes: List[BufferAccess] = list(producer.writes)
+    fused_reads = list(producer.reads) + [
+        access for access in consumer.reads if access.buffer not in intermediate
+    ]
+    fused_writes = surviving_writes + [
+        access
+        for access in consumer.writes
+        if access.buffer not in {w.buffer for w in surviving_writes}
+    ]
+    return replace(
+        producer,
+        name=f"{producer.name}+{consumer.name}",
+        flops=producer.flops + consumer.flops,
+        reads=tuple(fused_reads),
+        writes=tuple(fused_writes),
+        compute_efficiency=min(
+            producer.compute_efficiency, consumer.compute_efficiency
+        ),
+        occupancy=min(producer.occupancy, consumer.occupancy),
+        resources=_combined_resources(producer.resources, consumer.resources),
+        chunkable=producer.chunkable and consumer.chunkable,
+        parent=producer.logical_name,
+    )
+
+
+def fuse_kernels(
+    pipeline: Pipeline,
+    gpu: Optional[GpuConfig] = None,
+    keep_intermediates: bool = False,
+) -> Pipeline:
+    """Fuse straight-line producer-consumer GPU kernel pairs.
+
+    Applies repeatedly until no pair qualifies, so kernel chains collapse.
+    With ``keep_intermediates`` the intermediate buffers stay written (some
+    downstream consumer may exist outside the analysed window); otherwise
+    pure intermediates that nothing else reads are dropped from the fused
+    kernel's traffic — the memory saving fusion exists for.
+    """
+    gpu = gpu or GpuConfig()
+    outputs = set(pipeline.metadata.get("outputs", ()) or ())
+    current = pipeline
+    while True:
+        order = current.topological_order()
+        by_name = {s.name: s for s in order}
+        fused_pair: Optional[Tuple[Stage, Stage]] = None
+        for consumer in order:
+            if len(consumer.depends_on) != 1:
+                continue
+            producer = by_name[consumer.depends_on[0]]
+            if _fusable_pair(current, producer, consumer, gpu):
+                fused_pair = (producer, consumer)
+                break
+        if fused_pair is None:
+            return current
+        producer, consumer = fused_pair
+
+        if keep_intermediates:
+            merged = _fuse(producer, consumer, outputs)
+        else:
+            # Drop writes of intermediates nothing else reads.
+            produced = {a.buffer for a in producer.writes}
+            consumed = {a.buffer for a in consumer.reads}
+            intermediate = produced & consumed
+            later_readers: Set[str] = set()
+            seen_consumer = False
+            for stage in order:
+                if stage.name == consumer.name:
+                    seen_consumer = True
+                    continue
+                if seen_consumer:
+                    later_readers.update(a.buffer for a in stage.reads)
+            dead = {
+                buf
+                for buf in intermediate
+                if buf not in later_readers and buf not in outputs
+            }
+            merged = _fuse(producer, consumer, outputs)
+            merged = replace(
+                merged,
+                writes=tuple(a for a in merged.writes if a.buffer not in dead),
+            )
+
+        new_stages: List[Stage] = []
+        for stage in current.stages:
+            if stage.name == producer.name:
+                new_stages.append(merged)
+            elif stage.name == consumer.name:
+                continue
+            else:
+                deps = tuple(
+                    merged.name if dep in (producer.name, consumer.name) else dep
+                    for dep in stage.depends_on
+                )
+                # Collapse duplicate deps introduced by the rename.
+                deduped: List[str] = []
+                for dep in deps:
+                    if dep not in deduped:
+                        deduped.append(dep)
+                new_stages.append(replace(stage, depends_on=tuple(deduped)))
+        current = current.with_stages(new_stages)
+
+
+def migrate_kernels_to_cpu(
+    pipeline: Pipeline,
+    max_flops: float,
+    *,
+    efficiency_factor: float = 0.9,
+    cpu_occupancy: float = 0.75,
+) -> Pipeline:
+    """Move short-running GPU kernels onto CPU cores (Section VI).
+
+    Only meaningful on limited-copy pipelines: with shared physical memory
+    no data movement is needed, and CPU cores executing the small kernels
+    free GPU cores and effective cache capacity.  Kernels at or below
+    ``max_flops`` are converted.
+    """
+    if not pipeline.limited_copy:
+        raise PipelineError(
+            "migrate_kernels_to_cpu applies to limited-copy pipelines "
+            "(shared physical memory); call remove_copies first"
+        )
+    new_stages: List[Stage] = []
+    for stage in pipeline.stages:
+        if stage.kind is StageKind.GPU_KERNEL and stage.flops <= max_flops:
+            new_stages.append(
+                replace(
+                    stage,
+                    kind=StageKind.CPU,
+                    compute_efficiency=stage.compute_efficiency
+                    * efficiency_factor,
+                    occupancy=cpu_occupancy,
+                    resources=None,
+                )
+            )
+        else:
+            new_stages.append(stage)
+    return pipeline.with_stages(new_stages)

@@ -1,0 +1,172 @@
+"""The Pipeline: a validated DAG of stages over a set of buffers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.pipeline.buffers import Buffer, MemorySpace
+from repro.pipeline.stage import Stage, StageKind
+
+
+class PipelineError(ValueError):
+    """Raised when a pipeline fails structural validation."""
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """An immutable benchmark pipeline.
+
+    Attributes:
+        name: benchmark name (e.g. ``"rodinia/kmeans"``).
+        buffers: all allocations, keyed by name.
+        stages: stages in insertion order (a valid topological order is
+            computed, not assumed).
+        limited_copy: True once :func:`repro.pipeline.transforms.remove_copies`
+            has ported the pipeline.
+        metadata: free-form benchmark annotations (suite flags etc.).
+    """
+
+    name: str
+    buffers: Mapping[str, Buffer]
+    stages: Tuple[Stage, ...]
+    limited_copy: bool = False
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check referential integrity and acyclicity; raise PipelineError."""
+        names = set()
+        for stage in self.stages:
+            if stage.name in names:
+                raise PipelineError(f"duplicate stage name {stage.name!r}")
+            names.add(stage.name)
+        for buf_name, buf in self.buffers.items():
+            if buf.name != buf_name:
+                raise PipelineError(f"buffer key {buf_name!r} != buffer name {buf.name!r}")
+            if buf.mirror_of is not None and buf.mirror_of not in self.buffers:
+                raise PipelineError(
+                    f"buffer {buf.name!r} mirrors unknown buffer {buf.mirror_of!r}"
+                )
+        for stage in self.stages:
+            for dep in stage.depends_on:
+                if dep not in names:
+                    raise PipelineError(f"stage {stage.name!r} depends on unknown {dep!r}")
+            for access in stage.accesses:
+                if access.buffer not in self.buffers:
+                    raise PipelineError(
+                        f"stage {stage.name!r} accesses unknown buffer {access.buffer!r}"
+                    )
+        self.topological_order()  # raises on cycles
+
+    # -- structure queries ------------------------------------------------------
+
+    def stage(self, name: str) -> Stage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(name)
+
+    def topological_order(self) -> Tuple[Stage, ...]:
+        """Stages in dependency order (stable w.r.t. insertion order)."""
+        by_name = {s.name: s for s in self.stages}
+        indegree = {s.name: len(s.depends_on) for s in self.stages}
+        dependents: Dict[str, List[str]] = {s.name: [] for s in self.stages}
+        for stage in self.stages:
+            for dep in stage.depends_on:
+                dependents[dep].append(stage.name)
+        ready = [s.name for s in self.stages if indegree[s.name] == 0]
+        order: List[Stage] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(by_name[current])
+            for successor in dependents[current]:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    ready.append(successor)
+        if len(order) != len(self.stages):
+            cyclic = sorted(name for name, deg in indegree.items() if deg > 0)
+            raise PipelineError(f"pipeline {self.name!r} has a dependency cycle: {cyclic}")
+        return tuple(order)
+
+    def stages_of_kind(self, kind: StageKind) -> Tuple[Stage, ...]:
+        return tuple(s for s in self.stages if s.kind is kind)
+
+    @property
+    def copy_stages(self) -> Tuple[Stage, ...]:
+        return self.stages_of_kind(StageKind.COPY)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(s.flops for s in self.stages)
+
+    def flops_by_kind(self) -> Dict[StageKind, float]:
+        totals = {kind: 0.0 for kind in StageKind}
+        for stage in self.stages:
+            totals[stage.kind] += stage.flops
+        return totals
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes across all allocations (copy-version footprint)."""
+        return sum(b.size_bytes for b in self.buffers.values())
+
+    def producer_consumer_edges(self) -> Tuple[Tuple[str, str, str], ...]:
+        """(producer, consumer, buffer) triples: a stage reads what an
+        earlier stage wrote.  Used for Table II characterization and by the
+        parallel producer-consumer transform."""
+        edges: List[Tuple[str, str, str]] = []
+        order = self.topological_order()
+        last_writer: Dict[str, str] = {}
+        for stage in order:
+            for access in stage.reads:
+                writer = last_writer.get(access.buffer)
+                if writer is not None and writer != stage.name:
+                    edges.append((writer, stage.name, access.buffer))
+            for access in stage.writes:
+                last_writer[access.buffer] = stage.name
+        return tuple(edges)
+
+    # -- derivation -------------------------------------------------------------
+
+    def with_stages(
+        self,
+        stages: Iterable[Stage],
+        *,
+        buffers: Optional[Mapping[str, Buffer]] = None,
+        limited_copy: Optional[bool] = None,
+        name: Optional[str] = None,
+    ) -> "Pipeline":
+        """A copy of this pipeline with replaced stages (and optional fields)."""
+        return Pipeline(
+            name=self.name if name is None else name,
+            buffers=dict(self.buffers if buffers is None else buffers),
+            stages=tuple(stages),
+            limited_copy=self.limited_copy if limited_copy is None else limited_copy,
+            metadata=dict(self.metadata),
+        )
+
+    def scaled(self, factor: float) -> "Pipeline":
+        """Scale every buffer size and stage FLOP count by ``factor``.
+
+        Used to shrink paper-scale workloads for fast simulation; pair with
+        :meth:`repro.config.system.SystemConfig.scaled` to preserve
+        footprint-to-cache ratios.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        if factor == 1.0:
+            return self
+        buffers = {name: buf.scaled(factor) for name, buf in self.buffers.items()}
+        stages = tuple(replace(s, flops=s.flops * factor) for s in self.stages)
+        return Pipeline(
+            name=self.name,
+            buffers=buffers,
+            stages=stages,
+            limited_copy=self.limited_copy,
+            metadata=dict(self.metadata),
+        )

@@ -1,0 +1,49 @@
+"""Memory access patterns for pipeline stages.
+
+Each :class:`repro.pipeline.stage.BufferAccess` carries one of these
+patterns; the trace generator (:mod:`repro.trace.generator`) turns the
+pattern into a concrete block-granularity address stream.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessPattern(enum.Enum):
+    """How a stage walks a buffer.
+
+    STREAMING: one sequential sweep per pass; perfect spatial locality, no
+        temporal locality beyond the line.
+    STRIDED: sequential with a stride larger than one element; touches a
+        subset of lines per pass.
+    STENCIL: sequential sweep where each element also reads a small spatial
+        neighbourhood (rows above/below); strong short-range reuse.
+    RANDOM: uniformly random touches over the region; poor locality.
+    GRAPH: irregular graph traversal; skewed (power-law) block popularity —
+        a few hot blocks (high-degree vertices) and a long random tail.
+    REDUCTION: streaming read of the region folding into a tiny output.
+    BROADCAST: repeated reads of a small region (e.g. cluster centres);
+        near-perfect temporal locality once resident.
+    POINTER_CHASE: serially dependent random walk; like RANDOM for caching
+        purposes but with no memory-level parallelism (latency-bound).
+    """
+
+    STREAMING = "streaming"
+    STRIDED = "strided"
+    STENCIL = "stencil"
+    RANDOM = "random"
+    GRAPH = "graph"
+    REDUCTION = "reduction"
+    BROADCAST = "broadcast"
+    POINTER_CHASE = "pointer_chase"
+
+
+#: Patterns whose address streams are serially dependent, limiting the
+#: memory-level parallelism a core can extract (used by the timing model).
+LATENCY_BOUND_PATTERNS = frozenset({AccessPattern.POINTER_CHASE})
+
+#: Patterns considered "irregular" for workload characterization purposes.
+IRREGULAR_PATTERNS = frozenset(
+    {AccessPattern.RANDOM, AccessPattern.GRAPH, AccessPattern.POINTER_CHASE}
+)

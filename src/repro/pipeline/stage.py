@@ -1,0 +1,230 @@
+"""Pipeline stages: the units of work a benchmark performs.
+
+A benchmark pipeline is a DAG of stages.  Each stage runs on one component
+(CPU cores, GPU cores, or the copy engine), performs some floating-point
+work, and reads/writes regions of named buffers with declared access
+patterns.  Copy stages additionally name their source and destination
+buffers so the limited-copy porting transform can reason about them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.pipeline.patterns import AccessPattern
+
+
+class StageKind(enum.Enum):
+    """Which component executes a stage."""
+
+    CPU = "cpu"
+    GPU_KERNEL = "gpu"
+    COPY = "copy"
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-kernel GPU resource usage, as a CUDA compiler would report.
+
+    When attached to a GPU stage, the engine derives the stage's occupancy
+    from the Table I per-core limits (CTA slots, warp slots, registers,
+    scratch memory) via :mod:`repro.sim.occupancy` instead of trusting the
+    declared value alone.
+    """
+
+    threads_per_cta: int = 256
+    registers_per_thread: int = 24
+    scratch_bytes_per_cta: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads_per_cta <= 0:
+            raise ValueError("threads_per_cta must be positive")
+        if self.registers_per_thread <= 0:
+            raise ValueError("registers_per_thread must be positive")
+        if self.scratch_bytes_per_cta < 0:
+            raise ValueError("scratch_bytes_per_cta must be non-negative")
+
+
+@dataclass(frozen=True)
+class Region:
+    """A fractional sub-range [start, end) of a buffer."""
+
+    start: float = 0.0
+    end: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start < self.end <= 1.0:
+            raise ValueError(f"invalid region [{self.start}, {self.end})")
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+    def subrange(self, index: int, count: int) -> "Region":
+        """The ``index``-th of ``count`` equal chunks of this region."""
+        if count <= 0 or not 0 <= index < count:
+            raise ValueError(f"invalid chunk {index}/{count}")
+        width = self.span / count
+        lo = self.start + index * width
+        hi = self.start + (index + 1) * width if index < count - 1 else self.end
+        return Region(lo, hi)
+
+
+FULL_REGION = Region(0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class BufferAccess:
+    """One stage's use of one buffer.
+
+    Attributes:
+        buffer: buffer name.
+        pattern: how the region is walked.
+        region: fractional sub-range of the buffer this access touches.
+        fraction: density of touches within the region — graph traversals
+            often visit only part of the structure (Fig. 4 discussion of
+            Lonestar bfs / Pannotia fw).
+        passes: how many times the touched set is swept (iterative kernels
+            revisit data; values < 1 model partial sweeps).
+        broadcast: when a chunking transform splits this stage, broadcast
+            accesses are *not* split — every chunk reads the whole region
+            (e.g. the kmeans cluster centres).
+    """
+
+    buffer: str
+    pattern: AccessPattern = AccessPattern.STREAMING
+    region: Region = FULL_REGION
+    fraction: float = 1.0
+    passes: float = 1.0
+    broadcast: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+        if self.passes <= 0:
+            raise ValueError(f"passes must be positive, got {self.passes}")
+
+    def chunk(self, index: int, count: int) -> "BufferAccess":
+        """This access restricted to chunk ``index`` of ``count``."""
+        if self.broadcast or count == 1:
+            return self
+        return replace(self, region=self.region.subrange(index, count))
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of a benchmark pipeline DAG.
+
+    Attributes:
+        name: unique identifier within the pipeline.
+        kind: executing component.
+        flops: floating-point operations performed (0 for pure copies).
+        reads / writes: buffer accesses.
+        depends_on: names of stages that must complete first.  Benchmarks as
+            written are bulk-synchronous, so builders chain stages linearly;
+            transforms relax this.
+        compute_efficiency: achievable fraction of the component's peak FLOP
+            rate (divergence, low ILP, ... reduce it).
+        occupancy: fraction of the component's cores/threads the stage can
+            fill; models limited thread-level parallelism (e.g. the kmeans
+            centre-replacement step).
+        mirror_copy: for COPY stages — True when the copy only fills or
+            drains a mirror buffer and is removable by the limited-copy port.
+        chunkable: whether data-parallel chunking transforms may split this
+            stage (wide, data-independent parallelism per element).
+        migratable: whether the compute-migration transform may move this
+            stage's work to the other core type.
+        src / dst: for COPY stages, source and destination buffer names.
+    """
+
+    name: str
+    kind: StageKind
+    flops: float = 0.0
+    reads: Tuple[BufferAccess, ...] = ()
+    writes: Tuple[BufferAccess, ...] = ()
+    depends_on: Tuple[str, ...] = ()
+    compute_efficiency: float = 0.5
+    occupancy: float = 1.0
+    mirror_copy: bool = False
+    chunkable: bool = False
+    migratable: bool = False
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    # Optional GPU resource usage; the engine derives occupancy from it.
+    resources: Optional["KernelResources"] = None
+    # Launched from the GPU via dynamic parallelism (no CPU involvement,
+    # but a higher per-launch latency; see repro.pipeline.dynpar).
+    device_launched: bool = False
+    # Set by chunking transforms so results can be grouped per logical stage.
+    parent: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stage name must be non-empty")
+        if self.flops < 0:
+            raise ValueError(f"stage {self.name!r}: flops must be non-negative")
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError(f"stage {self.name!r}: compute_efficiency must be in (0, 1]")
+        if not 0.0 < self.occupancy <= 1.0:
+            raise ValueError(f"stage {self.name!r}: occupancy must be in (0, 1]")
+        if self.kind is StageKind.COPY:
+            if self.src is None or self.dst is None:
+                raise ValueError(f"copy stage {self.name!r} needs src and dst buffers")
+            if self.flops:
+                raise ValueError(f"copy stage {self.name!r} cannot perform FLOPs")
+        else:
+            if self.mirror_copy:
+                raise ValueError(f"non-copy stage {self.name!r} cannot be a mirror copy")
+            if self.src is not None or self.dst is not None:
+                raise ValueError(f"non-copy stage {self.name!r} cannot have src/dst")
+        if self.resources is not None and self.kind is not StageKind.GPU_KERNEL:
+            raise ValueError(f"only GPU kernels take resources, not {self.name!r}")
+        if self.device_launched and self.kind is not StageKind.GPU_KERNEL:
+            raise ValueError(
+                f"only GPU kernels can be device-launched, not {self.name!r}"
+            )
+
+    @property
+    def logical_name(self) -> str:
+        """The pre-chunking stage name, for grouping chunked results."""
+        return self.parent if self.parent is not None else self.name
+
+    @property
+    def accesses(self) -> Tuple[BufferAccess, ...]:
+        return self.reads + self.writes
+
+    @property
+    def buffers(self) -> Tuple[str, ...]:
+        """All buffer names this stage touches, reads first, de-duplicated."""
+        seen = []
+        for access in self.accesses:
+            if access.buffer not in seen:
+                seen.append(access.buffer)
+        return tuple(seen)
+
+
+def copy_stage(
+    name: str,
+    src: str,
+    dst: str,
+    *,
+    mirror: bool = True,
+    region: Region = FULL_REGION,
+    depends_on: Tuple[str, ...] = (),
+    chunkable: bool = False,
+) -> Stage:
+    """Convenience constructor for a memory-copy stage."""
+    return Stage(
+        name=name,
+        kind=StageKind.COPY,
+        reads=(BufferAccess(src, AccessPattern.STREAMING, region=region),),
+        writes=(BufferAccess(dst, AccessPattern.STREAMING, region=region),),
+        depends_on=depends_on,
+        mirror_copy=mirror,
+        chunkable=chunkable,
+        src=src,
+        dst=dst,
+        compute_efficiency=1.0,
+    )

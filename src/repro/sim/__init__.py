@@ -1,0 +1,86 @@
+"""System simulator: caches, memories, copy engine, page faults, scheduler."""
+
+from repro.sim.cache import CacheStats, SetAssocCache
+from repro.sim.dram import BandwidthShare, MemorySystem
+from repro.sim.coherence import BusOp, CoherenceStats, MesiDirectory, MesiState
+from repro.sim.dram_row import (
+    RowBufferStats,
+    effective_efficiency,
+    row_buffer_stats,
+    stream_efficiency,
+)
+from repro.sim.engine import Engine, SimOptions, simulate
+from repro.sim.hierarchy import (
+    COMPONENT_BY_CODE,
+    CacheSystem,
+    Component,
+    Domain,
+    DomainResult,
+    OffChipLog,
+)
+from repro.sim.occupancy import (
+    OccupancyLimiter,
+    OccupancyReport,
+    compute_occupancy,
+    derive_stage_occupancy,
+)
+from repro.sim.pagefault import FaultResult, PageFaultModel, premapped_pages
+from repro.sim.pcie import CopyEngine, CopyTiming
+from repro.sim.results import (
+    Interval,
+    SimResult,
+    StageRecord,
+    activity_breakdown,
+    merge_intervals,
+    total_time,
+)
+from repro.sim.serialize import result_to_dict, result_to_json, summary_from_json
+from repro.sim.timeline import render_stage_table, render_timeline, utilization_summary
+from repro.sim.timing import StageTiming, compute_stage_timing
+
+__all__ = [
+    "BandwidthShare",
+    "BusOp",
+    "COMPONENT_BY_CODE",
+    "CacheStats",
+    "CacheSystem",
+    "CoherenceStats",
+    "Component",
+    "CopyEngine",
+    "CopyTiming",
+    "Domain",
+    "DomainResult",
+    "Engine",
+    "FaultResult",
+    "Interval",
+    "MemorySystem",
+    "MesiDirectory",
+    "MesiState",
+    "OccupancyLimiter",
+    "OccupancyReport",
+    "OffChipLog",
+    "RowBufferStats",
+    "PageFaultModel",
+    "SetAssocCache",
+    "SimOptions",
+    "SimResult",
+    "StageRecord",
+    "StageTiming",
+    "activity_breakdown",
+    "compute_occupancy",
+    "compute_stage_timing",
+    "derive_stage_occupancy",
+    "effective_efficiency",
+    "merge_intervals",
+    "premapped_pages",
+    "render_stage_table",
+    "row_buffer_stats",
+    "stream_efficiency",
+    "render_timeline",
+    "result_to_dict",
+    "result_to_json",
+    "simulate",
+    "summary_from_json",
+    "total_time",
+    "utilization_summary",
+]

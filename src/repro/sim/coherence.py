@@ -1,0 +1,196 @@
+"""MESI cache-coherence protocol model.
+
+The heterogeneous processor of the paper depends on CPU-GPU cache
+coherence (its refs [15, 26, 30]); the main simulator approximates it with
+peer-L2 probing and silent line migration (see
+:class:`repro.sim.hierarchy.Domain`).  This module provides the full
+protocol as a standalone reference model: per-line MESI states across any
+number of caches, with the bus transactions each access generates.
+
+It serves three purposes:
+
+* documentation — the precise protocol the fast path approximates;
+* verification — property tests assert the protocol invariants (single
+  writer, no stale sharers) and that the fast path's off-chip traffic
+  matches the reference on producer-consumer patterns;
+* experimentation — coherence-traffic studies (invalidations per write,
+  cache-to-cache transfer rates) that the paper's Section VI directions
+  would need.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class MesiState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+class BusOp(enum.Enum):
+    """Transactions observed on the coherence interconnect."""
+
+    READ_MISS_MEMORY = "read miss served by memory"
+    READ_MISS_CACHE = "read miss served cache-to-cache"
+    WRITE_MISS_MEMORY = "write miss served by memory"
+    WRITE_MISS_CACHE = "write miss served cache-to-cache"
+    UPGRADE = "invalidate sharers for write (BusUpgr)"
+    WRITEBACK = "dirty line written to memory"
+
+
+@dataclass
+class CoherenceStats:
+    """Counts of each bus transaction."""
+
+    counts: Dict[BusOp, int] = field(default_factory=lambda: {op: 0 for op in BusOp})
+
+    def record(self, op: BusOp) -> None:
+        self.counts[op] += 1
+
+    @property
+    def memory_accesses(self) -> int:
+        """Transactions that reach off-chip memory."""
+        return (
+            self.counts[BusOp.READ_MISS_MEMORY]
+            + self.counts[BusOp.WRITE_MISS_MEMORY]
+            + self.counts[BusOp.WRITEBACK]
+        )
+
+    @property
+    def cache_to_cache_transfers(self) -> int:
+        return (
+            self.counts[BusOp.READ_MISS_CACHE]
+            + self.counts[BusOp.WRITE_MISS_CACHE]
+        )
+
+
+class MesiDirectory:
+    """MESI states for every (cache, line) pair, plus the bus.
+
+    Caches are identified by index.  Capacity is not modelled here — this
+    is the *protocol* reference; pair it with capacity models separately.
+    """
+
+    def __init__(self, num_caches: int):
+        if num_caches < 1:
+            raise ValueError("need at least one cache")
+        self.num_caches = num_caches
+        self._state: Dict[int, List[MesiState]] = {}
+        self.stats = CoherenceStats()
+
+    # -- queries -------------------------------------------------------------
+
+    def state(self, cache: int, line: int) -> MesiState:
+        self._check_cache(cache)
+        states = self._state.get(line)
+        return states[cache] if states else MesiState.INVALID
+
+    def holders(self, line: int) -> Tuple[int, ...]:
+        states = self._state.get(line)
+        if not states:
+            return ()
+        return tuple(
+            i for i, s in enumerate(states) if s is not MesiState.INVALID
+        )
+
+    def owner(self, line: int) -> Optional[int]:
+        """The cache holding the line in M or E, if any."""
+        states = self._state.get(line)
+        if not states:
+            return None
+        for i, s in enumerate(states):
+            if s in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+                return i
+        return None
+
+    # -- protocol actions ------------------------------------------------------
+
+    def _check_cache(self, cache: int) -> None:
+        if not 0 <= cache < self.num_caches:
+            raise ValueError(f"unknown cache {cache}")
+
+    def _states(self, line: int) -> List[MesiState]:
+        if line not in self._state:
+            self._state[line] = [MesiState.INVALID] * self.num_caches
+        return self._state[line]
+
+    def read(self, cache: int, line: int) -> Optional[BusOp]:
+        """Processor read; returns the bus transaction it caused (if any)."""
+        self._check_cache(cache)
+        states = self._states(line)
+        mine = states[cache]
+        if mine is not MesiState.INVALID:
+            return None  # hit, any valid state
+
+        others = [i for i, s in enumerate(states) if s is not MesiState.INVALID]
+        if not others:
+            states[cache] = MesiState.EXCLUSIVE
+            self.stats.record(BusOp.READ_MISS_MEMORY)
+            return BusOp.READ_MISS_MEMORY
+        # Another cache supplies the data; everyone valid drops to SHARED.
+        # A MODIFIED owner implicitly writes back (modelled as part of the
+        # cache-to-cache transfer, per common MESI formulations).
+        for i in others:
+            states[i] = MesiState.SHARED
+        states[cache] = MesiState.SHARED
+        self.stats.record(BusOp.READ_MISS_CACHE)
+        return BusOp.READ_MISS_CACHE
+
+    def write(self, cache: int, line: int) -> Optional[BusOp]:
+        """Processor write; returns the bus transaction it caused (if any)."""
+        self._check_cache(cache)
+        states = self._states(line)
+        mine = states[cache]
+        if mine is MesiState.MODIFIED:
+            return None  # silent
+        if mine is MesiState.EXCLUSIVE:
+            states[cache] = MesiState.MODIFIED
+            return None  # silent upgrade
+        op: BusOp
+        others = [
+            i
+            for i, s in enumerate(states)
+            if i != cache and s is not MesiState.INVALID
+        ]
+        if mine is MesiState.SHARED:
+            op = BusOp.UPGRADE
+        elif others:
+            op = BusOp.WRITE_MISS_CACHE
+        else:
+            op = BusOp.WRITE_MISS_MEMORY
+        for i in others:
+            states[i] = MesiState.INVALID
+        states[cache] = MesiState.MODIFIED
+        self.stats.record(op)
+        return op
+
+    def evict(self, cache: int, line: int) -> Optional[BusOp]:
+        """Capacity eviction; dirty lines write back."""
+        self._check_cache(cache)
+        states = self._states(line)
+        mine = states[cache]
+        states[cache] = MesiState.INVALID
+        if mine is MesiState.MODIFIED:
+            self.stats.record(BusOp.WRITEBACK)
+            return BusOp.WRITEBACK
+        return None
+
+    # -- invariants ----------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any MESI invariant is violated."""
+        for line, states in self._state.items():
+            m = sum(1 for s in states if s is MesiState.MODIFIED)
+            e = sum(1 for s in states if s is MesiState.EXCLUSIVE)
+            shared = sum(1 for s in states if s is MesiState.SHARED)
+            assert m <= 1, f"line {line}: multiple MODIFIED holders"
+            assert e <= 1, f"line {line}: multiple EXCLUSIVE holders"
+            if m or e:
+                assert m + e == 1 and shared == 0, (
+                    f"line {line}: owner coexists with sharers"
+                )

@@ -1,0 +1,374 @@
+"""Discrete-event execution engine.
+
+Schedules pipeline stages onto the three components (CPU cores, GPU cores,
+copy engine) honouring dependencies, single-server occupancy per component,
+CPU-issued launch latency for kernels and copies, shared-pool bandwidth
+arbitration, and (on the heterogeneous processor) CPU-handled GPU page
+faults.  Stage memory behaviour is obtained by streaming each stage's
+generated access trace through the cache system in start-time order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.config.system import SystemConfig, SystemKind
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.stage import Stage, StageKind
+from repro.sim.dram import MemorySystem
+from repro.sim.hierarchy import CacheSystem, Component, DomainResult
+from repro.sim.pagefault import PageFaultModel, premapped_pages
+from repro.sim.pcie import CopyEngine
+from repro.sim.results import Interval, SimResult, StageRecord
+from repro.sim.timing import StageTiming, compute_stage_timing
+from repro.trace.generator import TraceGenerator
+from repro.trace.stream import AccessStream
+
+_COMPONENT_OF_KIND = {
+    StageKind.CPU: Component.CPU,
+    StageKind.GPU_KERNEL: Component.GPU,
+    StageKind.COPY: Component.COPY,
+}
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Knobs controlling a simulation run.
+
+    Attributes:
+        seed: trace-generation seed.
+        scale: footprint/cache scale factor (see DESIGN.md); 1.0 is paper
+            scale.  Applied to both the pipeline and the system caches so
+            capacity ratios are preserved.
+        line_bytes: cache line size (Table I: 128B).
+        collect_log: keep the full off-chip log (needed for Fig. 9); can be
+            disabled to save memory on very large runs.
+    """
+
+    seed: int = 0
+    scale: float = 1.0
+    line_bytes: int = 128
+    collect_log: bool = True
+    # Opt-in row-buffer-aware DRAM efficiency (see repro.sim.dram_row); the
+    # calibrated default is the paper's flat ~82%-of-pin model.
+    dram_row_model: bool = False
+
+
+class Engine:
+    """Executes one pipeline on one system configuration."""
+
+    def __init__(self, pipeline: Pipeline, system: SystemConfig, options: SimOptions):
+        if options.scale != 1.0:
+            pipeline = pipeline.scaled(options.scale)
+            system = system.scaled(options.scale)
+        self.pipeline = pipeline
+        self.system = system
+        self.options = options
+        self.tracegen = TraceGenerator(
+            pipeline, line_bytes=options.line_bytes, seed=options.seed
+        )
+        coherent = system.kind is SystemKind.HETEROGENEOUS
+        self.caches = CacheSystem(
+            cpu_l1=system.cpu.l1d,
+            cpu_l2=self._aggregate_cpu_l2(),
+            gpu_l1=self._aggregate_gpu_l1(),
+            gpu_l2=system.gpu.l2,
+            coherent=coherent,
+        )
+        self.memory = MemorySystem(system)
+        self.copy_engine = CopyEngine(system)
+        self.faults: Optional[PageFaultModel] = None
+        if coherent and system.page_faults.enabled:
+            self.faults = PageFaultModel(
+                config=system.page_faults,
+                layout=self.tracegen.layout,
+                mapped=premapped_pages(pipeline, self.tracegen.layout),
+                serialization_heavy=bool(
+                    pipeline.metadata.get("pagefault_heavy", False)
+                ),
+            )
+
+    def _aggregate_cpu_l2(self):
+        """The four private 256kB L2s modelled as one 1MB pool."""
+        cfg = self.system.cpu.l2
+        from dataclasses import replace
+
+        return replace(
+            cfg, capacity_bytes=cfg.capacity_bytes * self.system.cpu.num_cores
+        )
+
+    def _aggregate_gpu_l1(self):
+        """Sixteen 24kB GPU L1s modelled as one 384kB pool."""
+        cfg = self.system.gpu.l1
+        from dataclasses import replace
+
+        return replace(
+            cfg, capacity_bytes=cfg.capacity_bytes * self.system.gpu.num_cores
+        )
+
+    # -- scheduling ------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        order = self.pipeline.topological_order()
+        pending: List[Stage] = list(order)
+        completed: Dict[str, float] = {}
+        comp_free: Dict[Component, float] = {c: 0.0 for c in Component}
+        busy: Dict[Component, List[Interval]] = {c: [] for c in Component}
+        launch_intervals: List[Interval] = []
+        records: List[StageRecord] = []
+        touched: Dict[Component, List[np.ndarray]] = {c: [] for c in Component}
+        flops_by_component: Dict[Component, float] = {c: 0.0 for c in Component}
+        logical_index: Dict[str, int] = {}
+        logical_of_ordinal: List[int] = []
+
+        launch_latency = self.system.kernel_launch_latency_s
+        ordinal = 0
+
+        while pending:
+            # Earliest-start list scheduling: among dependency-ready stages,
+            # run the one whose execution can begin first.
+            best: Optional[Tuple[float, float, int, Stage]] = None
+            for idx, stage in enumerate(pending):
+                if any(dep not in completed for dep in stage.depends_on):
+                    continue
+                ready = max(
+                    (completed[dep] for dep in stage.depends_on), default=0.0
+                )
+                component = _COMPONENT_OF_KIND[stage.kind]
+                if stage.kind is StageKind.CPU:
+                    start = max(ready, comp_free[Component.CPU])
+                    launch_start = start
+                elif stage.device_launched:
+                    # Dynamic parallelism: no CPU involvement; the (higher)
+                    # device launch latency precedes execution.
+                    launch_start = ready
+                    start = max(
+                        ready + self.system.device_launch_latency_s,
+                        comp_free[component],
+                    )
+                else:
+                    launch_start = ready
+                    start = max(ready + launch_latency, comp_free[component])
+                key = (start, launch_start, idx)
+                if best is None or key < (best[0], best[1], best[2]):
+                    best = (start, launch_start, idx, stage)
+            if best is None:
+                raise RuntimeError(
+                    f"deadlock scheduling pipeline {self.pipeline.name!r}"
+                )
+            start, launch_start, idx, stage = best
+            pending.pop(idx)
+            component = _COMPONENT_OF_KIND[stage.kind]
+
+            if stage.kind is not StageKind.CPU and not stage.device_launched:
+                sliver = Interval(launch_start, launch_start + launch_latency)
+                launch_intervals.append(sliver)
+                busy[Component.CPU].append(sliver)
+
+            active = frozenset(
+                comp
+                for comp, intervals in busy.items()
+                if any(iv.start <= start < iv.end for iv in intervals)
+            )
+            record = self._execute(
+                stage, component, start, active, ordinal, busy, touched
+            )
+            records.append(record)
+            completed[stage.name] = record.end_s
+            comp_free[component] = max(comp_free[component], record.end_s)
+            busy[component].append(Interval(record.start_s, record.end_s))
+            flops_by_component[component] += stage.flops
+            if stage.logical_name not in logical_index:
+                logical_index[stage.logical_name] = len(logical_index)
+            logical_of_ordinal.append(logical_index[stage.logical_name])
+            ordinal += 1
+
+        roi = max((r.end_s for r in records), default=0.0)
+        self._drain_caches(ordinal)
+
+        blocks, is_write, stage_arr, comp_arr = self.caches.log.arrays()
+        if not self.options.collect_log:
+            blocks = blocks[:0]
+            is_write = is_write[:0]
+            stage_arr = stage_arr[:0]
+            comp_arr = comp_arr[:0]
+        touched_final = {
+            comp: (np.unique(np.concatenate(parts)) if parts else np.empty(0, np.int64))
+            for comp, parts in touched.items()
+        }
+        # Drain writebacks belong to the final logical stage for distance math.
+        logical_of_ordinal.append(
+            logical_of_ordinal[-1] if logical_of_ordinal else 0
+        )
+
+        return SimResult(
+            pipeline_name=self.pipeline.name,
+            system_kind=self.system.kind.value,
+            roi_s=roi,
+            stages=tuple(records),
+            busy=busy,
+            launch_intervals=launch_intervals,
+            line_bytes=self.options.line_bytes,
+            log_blocks=blocks,
+            log_is_write=is_write,
+            log_stage=stage_arr,
+            log_component=comp_arr,
+            logical_of_ordinal=np.asarray(logical_of_ordinal, dtype=np.int32),
+            touched_blocks=touched_final,
+            total_flops=self.pipeline.total_flops,
+            flops_by_component=flops_by_component,
+        )
+
+    # -- per-stage execution ------------------------------------------------------
+
+    def _execute(
+        self,
+        stage: Stage,
+        component: Component,
+        start: float,
+        active: frozenset,
+        ordinal: int,
+        busy: Dict[Component, List[Interval]],
+        touched: Dict[Component, List[np.ndarray]],
+    ) -> StageRecord:
+        trace = self.tracegen.stage_trace(stage)
+        stream = trace.stream
+        if len(stream):
+            touched[component].append(np.unique(stream.blocks))
+
+        if stage.kind is StageKind.COPY:
+            src_blocks = stream.blocks[~stream.is_write]
+            dst_blocks = stream.blocks[stream.is_write]
+            mem = self.caches.process_copy(src_blocks, dst_blocks, ordinal)
+            share = self.memory.effective_bandwidth(component, active)
+            pool_fraction = share.bytes_per_second / max(
+                self.memory.pool_of(component).achievable_bandwidth, 1e-30
+            )
+            timing_copy = self.copy_engine.copy_time(
+                len(src_blocks) * self.options.line_bytes, bandwidth_share=pool_fraction
+            )
+            timing = StageTiming(
+                compute_s=0.0, memory_s=timing_copy.transfer_s, latency_s=0.0
+            )
+            end = start + timing_copy.transfer_s
+            return StageRecord(
+                name=stage.name,
+                logical=stage.logical_name,
+                kind=stage.kind,
+                component=component,
+                ordinal=ordinal,
+                start_s=start,
+                end_s=end,
+                timing=timing,
+                requests=mem.requests,
+                offchip_reads=mem.offchip_reads,
+                offchip_writes=mem.offchip_writes,
+                onchip_transfers=0,
+                faults=0,
+                flops=0.0,
+            )
+
+        fault_service = 0.0
+        fault_count = 0
+        if self.faults is not None and len(stream):
+            fault = self.faults.touch(stream.blocks, stage.kind)
+            fault_service = fault.service_time_s
+            fault_count = fault.faults
+            if len(fault.zeroed_blocks) and self.system.page_faults.enabled:
+                # The CPU zeroes newly mapped pages; attribute the writes to
+                # the CPU component (the srad access-shifting effect).
+                # Zeroing traffic counts as CPU memory accesses (the srad
+                # access-shifting effect) but not as core-touched footprint.
+                self.caches.log.append(
+                    fault.zeroed_blocks,
+                    np.ones(len(fault.zeroed_blocks), dtype=bool),
+                    ordinal,
+                    Component.CPU,
+                )
+
+        mem = self.caches.process_compute(stream, ordinal, component)
+        share = self.memory.effective_bandwidth(component, active)
+        share = self._refine_bandwidth(share, component, mem)
+        if stage.kind is StageKind.GPU_KERNEL and stage.resources is not None:
+            from dataclasses import replace as _replace
+
+            from repro.sim.occupancy import derive_stage_occupancy
+
+            stage = _replace(
+                stage,
+                occupancy=derive_stage_occupancy(
+                    self.system.gpu, stage.resources, stage.occupancy
+                ),
+            )
+        timing = compute_stage_timing(
+            stage,
+            self.system,
+            mem,
+            share,
+            self.options.line_bytes,
+            fault_service_s=fault_service,
+        )
+        end = start + timing.duration_s
+        if fault_service > 0.0:
+            # The CPU is busy servicing faults while the kernel runs.
+            busy[Component.CPU].append(Interval(start, start + fault_service))
+        return StageRecord(
+            name=stage.name,
+            logical=stage.logical_name,
+            kind=stage.kind,
+            component=component,
+            ordinal=ordinal,
+            start_s=start,
+            end_s=end,
+            timing=timing,
+            requests=mem.requests,
+            offchip_reads=mem.offchip_reads,
+            offchip_writes=mem.offchip_writes,
+            onchip_transfers=mem.onchip_transfers,
+            faults=fault_count,
+            flops=stage.flops,
+        )
+
+    def _refine_bandwidth(self, share, component, mem):
+        """Apply the optional row-buffer DRAM efficiency refinement."""
+        if not self.options.dram_row_model:
+            return share
+        if mem.offchip_blocks is None or not len(mem.offchip_blocks):
+            return share
+        from repro.sim.dram import BandwidthShare
+        from repro.sim.dram_row import stream_efficiency
+
+        pool = self.memory.pool_of(component)
+        ratio = (
+            stream_efficiency(mem.offchip_blocks, line_bytes=self.options.line_bytes)
+            / pool.efficiency
+        )
+        return BandwidthShare(
+            pool=share.pool, bytes_per_second=share.bytes_per_second * ratio
+        )
+
+    def _drain_caches(self, ordinal: int) -> None:
+        """Flush dirty lines at ROI end so final writes reach the log."""
+        for domain, comp in (
+            (self.caches.cpu, Component.CPU),
+            (self.caches.gpu, Component.GPU),
+        ):
+            for cache in (domain.l1, domain.l2):
+                written = cache.drain()
+                if written:
+                    arr = np.asarray(written, dtype=np.int64)
+                    self.caches.log.append(
+                        arr, np.ones(len(arr), dtype=bool), ordinal, comp
+                    )
+
+
+def simulate(
+    pipeline: Pipeline,
+    system: SystemConfig,
+    options: Optional[SimOptions] = None,
+) -> SimResult:
+    """Simulate ``pipeline`` on ``system``; the library's main entry point."""
+    return Engine(pipeline, system, options or SimOptions()).run()

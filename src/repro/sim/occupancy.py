@@ -1,0 +1,104 @@
+"""GPU occupancy calculation from kernel resource usage.
+
+Table I's GPU cores manage up to 8 CTAs and 48 warps of 32 threads each,
+with 32k registers and 48kB of scratch memory per core.  A kernel's
+achievable occupancy — the fraction of the core's warp slots it can fill —
+is limited by whichever of those four resources it exhausts first, exactly
+like the CUDA occupancy calculator.
+
+Stages may either declare an ``occupancy`` directly (the suite models do,
+because the paper reports behaviour, not resource counts) or attach a
+:class:`KernelResources` descriptor and let the engine derive it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config.components import GpuConfig
+from repro.pipeline.stage import KernelResources
+
+__all__ = [
+    "KernelResources",
+    "OccupancyLimiter",
+    "OccupancyReport",
+    "compute_occupancy",
+    "derive_stage_occupancy",
+]
+
+
+class OccupancyLimiter(enum.Enum):
+    """Which per-core resource caps a kernel's concurrent CTAs."""
+
+    CTA_SLOTS = "cta slots"
+    WARP_SLOTS = "warp slots"
+    REGISTERS = "registers"
+    SCRATCH = "scratch memory"
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """The occupancy calculation's full result."""
+
+    concurrent_ctas: int
+    active_warps: int
+    warp_slots: int
+    limiter: OccupancyLimiter
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the core's warp slots filled (0 when nothing fits)."""
+        return self.active_warps / self.warp_slots if self.warp_slots else 0.0
+
+
+def compute_occupancy(gpu: GpuConfig, resources: KernelResources) -> OccupancyReport:
+    """Apply the four per-core limits and report the binding one."""
+    warps_per_cta = -(-resources.threads_per_cta // gpu.threads_per_warp)
+
+    by_cta_slots = gpu.max_ctas_per_core
+    by_warp_slots = gpu.warps_per_core // warps_per_cta
+    regs_per_cta = resources.registers_per_thread * resources.threads_per_cta
+    by_registers = gpu.registers_per_core // regs_per_cta
+    if resources.scratch_bytes_per_cta:
+        by_scratch = gpu.scratch_bytes_per_core // resources.scratch_bytes_per_cta
+    else:
+        by_scratch = by_cta_slots  # scratch never binds
+
+    limits = {
+        OccupancyLimiter.CTA_SLOTS: by_cta_slots,
+        OccupancyLimiter.WARP_SLOTS: by_warp_slots,
+        OccupancyLimiter.REGISTERS: by_registers,
+        OccupancyLimiter.SCRATCH: by_scratch,
+    }
+    # The binding limiter is the smallest; ties resolve in declaration order.
+    limiter = min(limits, key=lambda k: limits[k])
+    ctas = max(0, limits[limiter])
+    active_warps = min(ctas * warps_per_cta, gpu.warps_per_core)
+    return OccupancyReport(
+        concurrent_ctas=ctas,
+        active_warps=active_warps,
+        warp_slots=gpu.warps_per_core,
+        limiter=limiter,
+    )
+
+
+def derive_stage_occupancy(
+    gpu: GpuConfig,
+    resources: KernelResources,
+    declared_occupancy: float = 1.0,
+) -> float:
+    """Occupancy the engine should use for a stage with known resources.
+
+    The declared occupancy still applies as a ceiling: a kernel whose grid
+    is too small to fill the machine (limited TLP) stays limited no matter
+    how lean its resource usage is.
+    """
+    report = compute_occupancy(gpu, resources)
+    derived = report.occupancy
+    if derived <= 0.0:
+        raise ValueError(
+            f"kernel resources {resources} do not fit on a core "
+            f"(limited by {report.limiter.value})"
+        )
+    return min(declared_occupancy, derived)

@@ -1,0 +1,225 @@
+"""Simulation results: schedules, activity timelines, and memory logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pipeline.stage import StageKind
+from repro.sim.hierarchy import Component
+from repro.sim.timing import StageTiming
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open busy interval [start, end)."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} before start {self.start}")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+def merge_intervals(intervals: Sequence[Interval]) -> List[Interval]:
+    """Coalesce overlapping/adjacent intervals."""
+    ordered = sorted(intervals, key=lambda iv: (iv.start, iv.end))
+    merged: List[Interval] = []
+    for interval in ordered:
+        if merged and interval.start <= merged[-1].end:
+            if interval.end > merged[-1].end:
+                merged[-1] = Interval(merged[-1].start, interval.end)
+        else:
+            merged.append(interval)
+    return merged
+
+
+def total_time(intervals: Sequence[Interval]) -> float:
+    return sum(iv.length for iv in merge_intervals(intervals))
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One executed stage."""
+
+    name: str
+    logical: str
+    kind: StageKind
+    component: Component
+    ordinal: int
+    start_s: float
+    end_s: float
+    timing: StageTiming
+    requests: int
+    offchip_reads: int
+    offchip_writes: int
+    onchip_transfers: int
+    faults: int
+    flops: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def offchip_accesses(self) -> int:
+        return self.offchip_reads + self.offchip_writes
+
+
+ActivityMask = FrozenSet[Component]
+
+
+def activity_breakdown(
+    busy: Mapping[Component, Sequence[Interval]], roi_s: float
+) -> Dict[ActivityMask, float]:
+    """Segment [0, roi) by the set of concurrently active components.
+
+    Returns seconds per active-set; ``frozenset()`` is idle time.  This is
+    the data behind the paper's Fig. 3/6 stacked run-time bars.
+    """
+    merged = {comp: merge_intervals(list(ivs)) for comp, ivs in busy.items()}
+    boundaries = {0.0, roi_s}
+    for intervals in merged.values():
+        for iv in intervals:
+            if 0.0 <= iv.start <= roi_s:
+                boundaries.add(iv.start)
+            if 0.0 <= iv.end <= roi_s:
+                boundaries.add(iv.end)
+    points = sorted(boundaries)
+    out: Dict[ActivityMask, float] = {}
+    for lo, hi in zip(points, points[1:]):
+        if hi <= lo:
+            continue
+        mid = (lo + hi) / 2.0
+        active = frozenset(
+            comp
+            for comp, intervals in merged.items()
+            if any(iv.start <= mid < iv.end for iv in intervals)
+        )
+        out[active] = out.get(active, 0.0) + (hi - lo)
+    return out
+
+
+@dataclass
+class SimResult:
+    """Everything a simulation run produces."""
+
+    pipeline_name: str
+    system_kind: str
+    roi_s: float
+    stages: Tuple[StageRecord, ...]
+    busy: Dict[Component, List[Interval]]
+    launch_intervals: List[Interval]
+    line_bytes: int
+    # Off-chip log (program order): block, is_write, stage ordinal, component
+    # code, plus the map from ordinal to logical-stage index.
+    log_blocks: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    log_is_write: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    log_stage: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int32))
+    log_component: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int8))
+    logical_of_ordinal: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int32)
+    )
+    # Unique blocks touched per component at the *request* level (Fig. 4).
+    touched_blocks: Dict[Component, np.ndarray] = field(default_factory=dict)
+    total_flops: float = 0.0
+    flops_by_component: Dict[Component, float] = field(default_factory=dict)
+
+    # -- time ---------------------------------------------------------------
+
+    def busy_time(self, component: Component) -> float:
+        return total_time(self.busy.get(component, []))
+
+    def utilization(self, component: Component) -> float:
+        return self.busy_time(component) / self.roi_s if self.roi_s else 0.0
+
+    def activity(self) -> Dict[ActivityMask, float]:
+        return activity_breakdown(self.busy, self.roi_s)
+
+    def exclusive_time(self, component: Component) -> float:
+        """Time during which only ``component`` is active."""
+        return self.activity().get(frozenset({component}), 0.0)
+
+    def overlapped_time(self) -> float:
+        """Time during which two or more components are active."""
+        return sum(t for mask, t in self.activity().items() if len(mask) >= 2)
+
+    def idle_time(self) -> float:
+        return self.activity().get(frozenset(), 0.0)
+
+    def serial_launch_time(self) -> float:
+        """Cserial of Eq. 1: launch time not masked by GPU or copy activity.
+
+        Iterates launch slivers and subtracts the portions overlapped by any
+        concurrently executing kernel or copy.
+        """
+        masking = merge_intervals(
+            list(self.busy.get(Component.GPU, []))
+            + list(self.busy.get(Component.COPY, []))
+        )
+        serial = 0.0
+        for launch in self.launch_intervals:
+            covered = 0.0
+            for iv in masking:
+                lo = max(launch.start, iv.start)
+                hi = min(launch.end, iv.end)
+                if hi > lo:
+                    covered += hi - lo
+            serial += max(0.0, launch.length - covered)
+        return serial
+
+    # -- memory ------------------------------------------------------------------
+
+    def offchip_accesses(self) -> int:
+        return int(len(self.log_blocks))
+
+    def offchip_by_component(self) -> Dict[Component, int]:
+        from repro.sim.hierarchy import COMPONENT_BY_CODE
+
+        out = {comp: 0 for comp in Component}
+        if len(self.log_component):
+            codes, counts = np.unique(self.log_component, return_counts=True)
+            for code, count in zip(codes, counts):
+                out[COMPONENT_BY_CODE[int(code)]] = int(count)
+        return out
+
+    def offchip_bytes(self) -> int:
+        return self.offchip_accesses() * self.line_bytes
+
+    def footprint_bytes_by_component(self) -> Dict[Component, int]:
+        return {
+            comp: int(len(blocks)) * self.line_bytes
+            for comp, blocks in self.touched_blocks.items()
+        }
+
+    def total_footprint_bytes(self) -> int:
+        if not self.touched_blocks:
+            return 0
+        union = np.unique(np.concatenate(list(self.touched_blocks.values())))
+        return int(len(union)) * self.line_bytes
+
+    # -- convenience -----------------------------------------------------------
+
+    def stages_by_logical(self) -> Dict[str, List[StageRecord]]:
+        out: Dict[str, List[StageRecord]] = {}
+        for record in self.stages:
+            out.setdefault(record.logical, []).append(record)
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "roi_s": self.roi_s,
+            "cpu_busy_s": self.busy_time(Component.CPU),
+            "gpu_busy_s": self.busy_time(Component.GPU),
+            "copy_busy_s": self.busy_time(Component.COPY),
+            "gpu_utilization": self.utilization(Component.GPU),
+            "offchip_accesses": float(self.offchip_accesses()),
+            "footprint_bytes": float(self.total_footprint_bytes()),
+        }

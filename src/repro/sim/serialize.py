@@ -1,0 +1,94 @@
+"""JSON serialization of simulation results.
+
+Lets users archive sweeps, diff runs across library versions, or feed the
+numbers into external plotting tools.  The off-chip log is summarized (not
+dumped raw) to keep files small; pass ``include_log=True`` to keep it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.sim.hierarchy import Component
+from repro.sim.results import SimResult
+
+
+def result_to_dict(result: SimResult, include_log: bool = False) -> Dict[str, Any]:
+    """Convert a :class:`SimResult` to plain JSON-compatible data."""
+    payload: Dict[str, Any] = {
+        "schema": "repro.sim_result/v1",
+        "pipeline": result.pipeline_name,
+        "system": result.system_kind,
+        "roi_s": result.roi_s,
+        "line_bytes": result.line_bytes,
+        "total_flops": result.total_flops,
+        "busy_s": {
+            component.value: result.busy_time(component) for component in Component
+        },
+        "utilization": {
+            component.value: result.utilization(component)
+            for component in Component
+        },
+        "offchip_accesses": result.offchip_accesses(),
+        "offchip_by_component": {
+            component.value: count
+            for component, count in result.offchip_by_component().items()
+        },
+        "footprint_bytes": result.total_footprint_bytes(),
+        "footprint_by_component": {
+            component.value: size
+            for component, size in result.footprint_bytes_by_component().items()
+        },
+        "serial_launch_s": result.serial_launch_time(),
+        "stages": [
+            {
+                "name": record.name,
+                "logical": record.logical,
+                "kind": record.kind.value,
+                "component": record.component.value,
+                "start_s": record.start_s,
+                "end_s": record.end_s,
+                "compute_s": record.timing.compute_s,
+                "memory_s": record.timing.memory_s,
+                "latency_s": record.timing.latency_s,
+                "fault_s": record.timing.fault_s,
+                "requests": record.requests,
+                "offchip_reads": record.offchip_reads,
+                "offchip_writes": record.offchip_writes,
+                "onchip_transfers": record.onchip_transfers,
+                "faults": record.faults,
+            }
+            for record in result.stages
+        ],
+    }
+    if include_log:
+        payload["log"] = {
+            "blocks": result.log_blocks.tolist(),
+            "is_write": result.log_is_write.tolist(),
+            "stage": result.log_stage.tolist(),
+            "component": result.log_component.tolist(),
+            "logical_of_ordinal": result.logical_of_ordinal.tolist(),
+        }
+    return payload
+
+
+def result_to_json(
+    result: SimResult, include_log: bool = False, indent: Optional[int] = 2
+) -> str:
+    """Serialize a result to a JSON string."""
+    return json.dumps(result_to_dict(result, include_log=include_log), indent=indent)
+
+
+def summary_from_json(text: str) -> Dict[str, Any]:
+    """Load a serialized result and return its top-level summary fields.
+
+    Raises ``ValueError`` on schema mismatch so stale archives fail loudly.
+    """
+    payload = json.loads(text)
+    schema = payload.get("schema")
+    if schema != "repro.sim_result/v1":
+        raise ValueError(f"unsupported schema {schema!r}")
+    return payload

@@ -1,0 +1,80 @@
+"""ASCII timeline rendering of simulation results.
+
+Renders the Fig. 3/6-style component-activity view as a Gantt chart::
+
+    copy  |==== =  =  =                      |
+    cpu   |    =  = == =                     |
+    gpu   |      ====   =====================|
+
+so users can eyeball where the bulk-synchronous serialization and the
+overlap opportunities live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.sim.hierarchy import Component
+from repro.sim.results import Interval, SimResult, merge_intervals
+
+#: Render order for the component lanes.
+LANE_ORDER = (Component.COPY, Component.CPU, Component.GPU)
+
+
+def _lane(intervals: Sequence[Interval], roi_s: float, width: int) -> str:
+    cells = [" "] * width
+    if roi_s <= 0:
+        return "".join(cells)
+    for interval in merge_intervals(list(intervals)):
+        lo = int(interval.start / roi_s * width)
+        hi = int(interval.end / roi_s * width)
+        hi = max(hi, lo + 1)  # always visible
+        for i in range(lo, min(hi, width)):
+            cells[i] = "="
+    return "".join(cells)
+
+
+def render_timeline(result: SimResult, width: int = 72) -> str:
+    """Render the run's component activity as an ASCII Gantt chart."""
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    lines: List[str] = [
+        f"{result.pipeline_name} on {result.system_kind} "
+        f"(ROI {result.roi_s:.6f}s)"
+    ]
+    for component in LANE_ORDER:
+        lane = _lane(result.busy.get(component, []), result.roi_s, width)
+        busy = result.busy_time(component)
+        share = busy / result.roi_s if result.roi_s else 0.0
+        lines.append(f"{component.value:<5s}|{lane}| {share:>4.0%}")
+    ruler = "-" * width
+    lines.append(f"     +{ruler}+")
+    return "\n".join(lines)
+
+
+def render_stage_table(result: SimResult, limit: int = 30) -> str:
+    """Per-stage schedule table (start, duration, off-chip traffic)."""
+    header = (
+        f"{'stage':<28s} {'comp':<5s} {'start(us)':>10s} {'dur(us)':>9s} "
+        f"{'offchip':>8s} {'onchip':>7s} {'faults':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for record in result.stages[:limit]:
+        lines.append(
+            f"{record.name:<28s} {record.component.value:<5s} "
+            f"{record.start_s * 1e6:>10.2f} "
+            f"{record.duration_s * 1e6:>9.2f} "
+            f"{record.offchip_accesses:>8d} {record.onchip_transfers:>7d} "
+            f"{record.faults:>6d}"
+        )
+    if len(result.stages) > limit:
+        lines.append(f"... {len(result.stages) - limit} more stages")
+    return "\n".join(lines)
+
+
+def utilization_summary(result: SimResult) -> Dict[str, float]:
+    """One-line utilization numbers for quick comparisons."""
+    return {
+        f"{component.value}_utilization": result.utilization(component)
+        for component in LANE_ORDER
+    }

@@ -1,0 +1,105 @@
+"""Analytic stage-duration model.
+
+A stage's service time is the larger of its compute time and its off-chip
+bandwidth time, plus a latency-sensitivity term that matters mostly for CPU
+stages (the paper: "CPU cores tend to be more sensitive to memory access
+latency than GPU cores", citing its ref [14]) and a page-fault service term
+on the heterogeneous processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import SystemConfig
+from repro.pipeline.patterns import LATENCY_BOUND_PATTERNS
+from repro.pipeline.stage import Stage, StageKind
+from repro.sim.dram import BandwidthShare
+from repro.sim.hierarchy import DomainResult
+from repro.units import NANOSECONDS
+
+#: Latency of an on-chip cache-to-cache transfer (heterogeneous processor).
+ONCHIP_TRANSFER_LATENCY_S = 30 * NANOSECONDS
+
+#: Memory-level parallelism of a serially dependent (pointer-chasing) walk.
+POINTER_CHASE_MLP = 1.5
+
+#: Outstanding misses a fully occupied GPU core complex can sustain (16
+#: cores x 48 warps give hundreds of in-flight requests).
+GPU_BASE_MLP = 256.0
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Component times for one stage execution."""
+
+    compute_s: float
+    memory_s: float
+    latency_s: float
+    fault_s: float = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        """Service time: overlapped compute/bandwidth, serialized latency.
+
+        Compute and streaming memory traffic overlap (both core types cover
+        bandwidth time with useful work), but serially exposed miss latency
+        and page-fault service do not.
+        """
+        return max(self.compute_s, self.memory_s) + self.latency_s + self.fault_s
+
+
+def _stage_mlp(stage: Stage, system: SystemConfig) -> float:
+    latency_bound = any(
+        access.pattern in LATENCY_BOUND_PATTERNS for access in stage.accesses
+    )
+    if stage.kind is StageKind.CPU:
+        if latency_bound:
+            return POINTER_CHASE_MLP
+        return system.cpu.memory_level_parallelism
+    # GPU: thousands of threads hide latency in proportion to occupancy.
+    base = GPU_BASE_MLP * stage.occupancy
+    if latency_bound:
+        base = base / 8.0
+    return max(base, 1.0)
+
+
+def compute_stage_timing(
+    stage: Stage,
+    system: SystemConfig,
+    mem: DomainResult,
+    bandwidth: BandwidthShare,
+    line_bytes: int,
+    fault_service_s: float = 0.0,
+) -> StageTiming:
+    """Duration model for a CPU or GPU stage (copies are timed separately)."""
+    if stage.kind is StageKind.COPY:
+        raise ValueError("use CopyEngine for copy stages")
+
+    if stage.kind is StageKind.CPU:
+        peak = system.cpu.peak_flops
+        miss_latency = system.cpu.miss_latency_s
+    else:
+        peak = system.gpu.peak_flops
+        # GPU cores see the same memory but their pipelines absorb latency;
+        # the base miss latency is similar in magnitude.
+        miss_latency = system.cpu.miss_latency_s
+
+    rate = peak * stage.occupancy * stage.compute_efficiency
+    compute_s = stage.flops / rate if stage.flops else 0.0
+
+    offchip_bytes = (mem.offchip_reads + mem.offchip_writes) * line_bytes
+    memory_s = offchip_bytes / bandwidth.bytes_per_second if offchip_bytes else 0.0
+
+    mlp = _stage_mlp(stage, system)
+    latency_s = (
+        mem.offchip_reads * miss_latency / mlp
+        + mem.onchip_transfers * ONCHIP_TRANSFER_LATENCY_S / mlp
+    )
+
+    return StageTiming(
+        compute_s=compute_s,
+        memory_s=memory_s,
+        latency_s=latency_s,
+        fault_s=fault_service_s,
+    )

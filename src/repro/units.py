@@ -1,0 +1,57 @@
+"""Unit helpers and constants used throughout the library.
+
+All internal quantities use SI base units: bytes, seconds, FLOPs.  These
+helpers exist so that configuration code reads like the paper's Table I
+("24 GB/s peak", "1MB L2", "700MHz") rather than raw powers of ten.
+"""
+
+from __future__ import annotations
+
+# --- capacity ---------------------------------------------------------------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# --- bandwidth (the paper quotes decimal GB/s pin bandwidths) ---------------
+GB_PER_S = 1e9
+
+# --- rates -------------------------------------------------------------------
+MHZ = 1e6
+GHZ = 1e9
+GFLOPS = 1e9
+
+# --- time --------------------------------------------------------------------
+SECONDS = 1.0
+MILLISECONDS = 1e-3
+MICROSECONDS = 1e-6
+NANOSECONDS = 1e-9
+
+
+def bytes_to_human(num_bytes: float) -> str:
+    """Render a byte count using binary suffixes, e.g. ``1536 -> '1.5KB'``."""
+    value = float(num_bytes)
+    for suffix in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or suffix == "TB":
+            if suffix == "B":
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def seconds_to_human(seconds: float) -> str:
+    """Render a duration with an appropriate unit, e.g. ``0.0031 -> '3.100ms'``."""
+    if seconds < 0:
+        return "-" + seconds_to_human(-seconds)
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= MILLISECONDS:
+        return f"{seconds / MILLISECONDS:.3f}ms"
+    if seconds >= MICROSECONDS:
+        return f"{seconds / MICROSECONDS:.3f}us"
+    return f"{seconds / NANOSECONDS:.1f}ns"
+
+
+def bandwidth_to_human(bytes_per_second: float) -> str:
+    """Render a bandwidth, e.g. ``8e9 -> '8.0GB/s'``."""
+    return f"{bytes_per_second / GB_PER_S:.1f}GB/s"

@@ -1,0 +1,41 @@
+"""Benchmark workload models for the four suites of the study."""
+
+from repro.workloads.loader import (
+    WorkloadSpecError,
+    parse_size,
+    pipeline_from_dict,
+    pipeline_from_file,
+    pipeline_from_json,
+)
+from repro.workloads.registry import (
+    SUITES,
+    all_specs,
+    get,
+    simulatable_specs,
+    suite_specs,
+)
+from repro.workloads.spec import BenchmarkSpec
+from repro.workloads.templates import (
+    dense_app,
+    graph_app,
+    offload_loop_app,
+    stencil_app,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "WorkloadSpecError",
+    "SUITES",
+    "all_specs",
+    "dense_app",
+    "get",
+    "graph_app",
+    "parse_size",
+    "pipeline_from_dict",
+    "pipeline_from_file",
+    "pipeline_from_json",
+    "offload_loop_app",
+    "simulatable_specs",
+    "stencil_app",
+    "suite_specs",
+]

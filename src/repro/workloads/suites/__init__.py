@@ -1,0 +1,1 @@
+"""Per-suite benchmark definitions (Lonestar, Pannotia, Parboil, Rodinia)."""

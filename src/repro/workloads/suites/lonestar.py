@@ -1,0 +1,233 @@
+"""The LonestarGPU benchmark suite (Burtscher et al., IISWC 2012).
+
+Fourteen irregular-algorithm benchmarks operating on graph-like data
+structures; ten use software worklists.  Eleven run in the study; three are
+metadata-only (listed in Table II but not simulated).
+
+Pipeline parameters (graph sizes, iteration counts, FLOPs per traversed
+edge) are distilled from the paper's qualitative commentary: the suite is
+heavily irregular, mostly bandwidth-limited during contentious stages, and
+copies account for at most ~5% of memory accesses because CPU and GPU
+perform multiple traversals of the data between copies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+from repro.workloads.spec import BenchmarkSpec
+from repro.workloads.templates import graph_app
+
+SUITE = "lonestar"
+
+
+def _spec(
+    name: str,
+    description: str,
+    build=None,
+    *,
+    pipe_parallel: bool = True,
+    irregular: bool = True,
+    sw_queue: bool = False,
+    bandwidth_limited: bool = False,
+    misaligned: bool = False,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        suite=SUITE,
+        description=description,
+        pc_comm=True,
+        pipe_parallel=pipe_parallel,
+        regular_pc=True,
+        irregular=irregular,
+        sw_queue=sw_queue,
+        build=build,
+        bandwidth_limited=bandwidth_limited,
+        misaligned_limited_copy=misaligned,
+    )
+
+
+def _bfs() -> Pipeline:
+    return graph_app(
+        "lonestar/bfs",
+        graph_bytes=28 * MB,
+        props_bytes=8 * MB,
+        iterations=48,
+        gpu_flops_per_iter=3.5e+07,
+        touched_fraction=0.30,  # BFS touches under a third of the data
+        passes_per_iter=4,
+        uses_worklist=True,
+        worklist_bytes=4 * MB,
+    )
+
+
+def _bfs_wlw() -> Pipeline:
+    return graph_app(
+        "lonestar/bfs_wlw",
+        graph_bytes=28 * MB,
+        props_bytes=8 * MB,
+        iterations=64,
+        gpu_flops_per_iter=2.75e+07,
+        touched_fraction=0.28,
+        passes_per_iter=3.5,
+        uses_worklist=True,
+        worklist_bytes=6 * MB,
+    )
+
+
+def _bh() -> Pipeline:
+    """Barnes-Hut n-body: large GPU-only temporary tree, copies that the
+    limited-copy port cannot remove (the one benchmark whose copy count does
+    not fall)."""
+    b = PipelineBuilder("lonestar/bh", metadata={"outputs": ("bodies",)})
+    b.buffer("bodies", 12 * MB)
+    b.buffer("tree", 30 * MB, temporary=True)
+    # Double-buffered copies the runtime cannot prove safe to remove.
+    b.copy_h2d("bodies", mirror=False)
+    for step in range(3):
+        b.gpu_kernel(
+            f"build_tree_{step}",
+            flops=120e6,
+            reads=[BufferAccess("bodies_dev", AccessPattern.STREAMING, passes=2.0)],
+            writes=[BufferAccess("tree", AccessPattern.RANDOM, fraction=0.7)],
+            efficiency=0.2,
+        )
+        b.gpu_kernel(
+            f"force_calc_{step}",
+            flops=900e6,
+            reads=[
+                BufferAccess("tree", AccessPattern.GRAPH, fraction=0.8, passes=6.0),
+                BufferAccess("bodies_dev", AccessPattern.STREAMING),
+            ],
+            writes=[BufferAccess("bodies_dev", AccessPattern.STREAMING)],
+            efficiency=0.3,
+        )
+    b.copy_d2h("bodies_dev", "bodies", mirror=False, name="d2h_bodies")
+    return b.build()
+
+
+def _dmr() -> Pipeline:
+    """Delaunay mesh refinement: wide inter-stage data dependencies make it
+    the Lonestar benchmark that cannot be pipeline-parallelized."""
+    return graph_app(
+        "lonestar/dmr",
+        graph_bytes=36 * MB,
+        props_bytes=12 * MB,
+        iterations=40,
+        gpu_flops_per_iter=1.1e+08,
+        touched_fraction=0.55,
+        passes_per_iter=4.5,
+        uses_worklist=True,
+        worklist_bytes=8 * MB,
+    )
+
+
+def _mst() -> Pipeline:
+    return graph_app(
+        "lonestar/mst",
+        graph_bytes=30 * MB,
+        props_bytes=10 * MB,
+        iterations=56,
+        gpu_flops_per_iter=5.5e+07,
+        touched_fraction=0.6,
+        passes_per_iter=4,
+        uses_worklist=True,
+        worklist_bytes=5 * MB,
+    )
+
+
+def _pta() -> Pipeline:
+    return graph_app(
+        "lonestar/pta",
+        graph_bytes=24 * MB,
+        props_bytes=10 * MB,
+        iterations=72,
+        gpu_flops_per_iter=4.5e+07,
+        touched_fraction=0.7,
+        passes_per_iter=5,
+        uses_worklist=True,
+        worklist_bytes=6 * MB,
+    )
+
+
+def _sp() -> Pipeline:
+    """Survey propagation: iterative message passing, no worklist."""
+    return graph_app(
+        "lonestar/sp",
+        graph_bytes=26 * MB,
+        props_bytes=14 * MB,
+        iterations=64,
+        gpu_flops_per_iter=1.3e+08,
+        touched_fraction=0.85,
+        passes_per_iter=3.5,
+        efficiency=0.25,
+    )
+
+
+def _sssp(variant: str, iterations: int, flops: float, fraction: float) -> Pipeline:
+    return graph_app(
+        f"lonestar/{variant}",
+        graph_bytes=32 * MB,
+        props_bytes=9 * MB,
+        iterations=iterations,
+        gpu_flops_per_iter=flops,
+        touched_fraction=fraction,
+        passes_per_iter=4,
+        uses_worklist=True,
+        worklist_bytes=6 * MB,
+    )
+
+
+def _tsp() -> Pipeline:
+    """2-opt TSP: dense tour matrix, the suite's one regular-access member."""
+    b = PipelineBuilder("lonestar/tsp", metadata={"outputs": ("tour",)})
+    b.buffer("coords", 8 * MB, cpu_line_aligned=False)
+    b.buffer("tour", 2 * MB)
+    b.copy_h2d("coords")
+    b.copy_h2d("tour")
+    for step in range(4):
+        b.gpu_kernel(
+            f"two_opt_{step}",
+            flops=1.6e9,
+            reads=[BufferAccess("coords_dev", AccessPattern.STREAMING, passes=6.0)],
+            writes=[BufferAccess("tour_dev", AccessPattern.STREAMING)],
+            efficiency=0.6,
+        )
+    b.copy_d2h("tour_dev", "tour", name="d2h_tour")
+    return b.build()
+
+
+def specs() -> Tuple[BenchmarkSpec, ...]:
+    return (
+        _spec("bfs", "breadth-first search (worklist)", _bfs,
+              sw_queue=True, bandwidth_limited=True),
+        _spec("bfs_wlw", "BFS, warp-cooperative worklist", _bfs_wlw,
+              sw_queue=True, bandwidth_limited=True),
+        _spec("bfs_atomic", "BFS, atomic worklist (not simulated)", None,
+              sw_queue=True, bandwidth_limited=True),
+        _spec("bh", "Barnes-Hut n-body", _bh, bandwidth_limited=True),
+        _spec("bh_nosort", "Barnes-Hut without sorting (not simulated)", None),
+        _spec("dmr", "Delaunay mesh refinement", _dmr,
+              pipe_parallel=False, sw_queue=True, bandwidth_limited=True),
+        _spec("mst", "minimum spanning tree", _mst,
+              sw_queue=True, bandwidth_limited=True),
+        _spec("mst_comp", "MST, component-based (not simulated)", None, sw_queue=True),
+        _spec("pta", "points-to analysis", _pta,
+              sw_queue=True, bandwidth_limited=True),
+        _spec("sp", "survey propagation", _sp, bandwidth_limited=True),
+        _spec("sssp", "single-source shortest paths",
+              lambda: _sssp("sssp", 7, 480e6, 0.6),
+              sw_queue=True, bandwidth_limited=True),
+        _spec("sssp_wlc", "SSSP, chunked worklist",
+              lambda: _sssp("sssp_wlc", 6, 560e6, 0.55), sw_queue=True),
+        _spec("sssp_wln", "SSSP, near-far worklist; numerous serialized kernels",
+              lambda: _sssp("sssp_wln", 12, 240e6, 0.4),
+              sw_queue=True, bandwidth_limited=True),
+        _spec("tsp", "travelling salesman 2-opt", _tsp,
+              irregular=False, misaligned=True),
+    )

@@ -1,0 +1,106 @@
+"""The Pannotia benchmark suite (Che et al., IISWC 2013).
+
+Ten irregular GPGPU graph analyses, each structured to expose available
+work *without* software worklists (all ten are simulated).  Originally
+OpenCL; the paper ports them to CUDA.  Like Lonestar, copies are a small
+fraction of memory accesses because the kernels traverse the graphs
+repeatedly, and most members push against memory bandwidth during their
+cache-contentious stages.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.pipeline.graph import Pipeline
+from repro.units import MB
+from repro.workloads.spec import BenchmarkSpec
+from repro.workloads.templates import graph_app
+
+SUITE = "pannotia"
+
+
+def _spec(
+    name: str,
+    description: str,
+    build,
+    *,
+    bandwidth_limited: bool = True,
+    pagefault_heavy: bool = False,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        suite=SUITE,
+        description=description,
+        pc_comm=True,
+        pipe_parallel=True,
+        regular_pc=True,
+        irregular=True,
+        sw_queue=False,
+        build=build,
+        bandwidth_limited=bandwidth_limited,
+        pagefault_heavy=pagefault_heavy,
+    )
+
+
+def _graph(
+    name: str,
+    *,
+    graph_mb: int,
+    props_mb: int,
+    iterations: int,
+    flops: float,
+    fraction: float,
+    passes: float = 4.0,
+    pagefault_heavy: bool = False,
+) -> Pipeline:
+    return graph_app(
+        f"pannotia/{name}",
+        graph_bytes=graph_mb * MB,
+        props_bytes=props_mb * MB,
+        iterations=iterations,
+        gpu_flops_per_iter=flops,
+        touched_fraction=fraction,
+        passes_per_iter=passes,
+        uses_worklist=False,
+        pagefault_heavy=pagefault_heavy,
+    )
+
+
+def specs() -> Tuple[BenchmarkSpec, ...]:
+    return (
+        _spec("bc", "betweenness centrality",
+              lambda: _graph("bc", graph_mb=26, props_mb=10, iterations=64,
+                             flops=8e+07, fraction=0.7)),
+        _spec("color_max", "graph colouring, max-degree ordering",
+              lambda: _graph("color_max", graph_mb=24, props_mb=8, iterations=48,
+                             flops=5e+07, fraction=0.8)),
+        _spec("color_maxmin", "graph colouring, max-min ordering",
+              lambda: _graph("color_maxmin", graph_mb=24, props_mb=8, iterations=56,
+                             flops=5.5e+07, fraction=0.8)),
+        _spec("fw", "Floyd-Warshall all-pairs shortest paths; CPU and GPU "
+              "touch under a third of the copied data",
+              lambda: _graph("fw", graph_mb=40, props_mb=8, iterations=48,
+                             flops=1.5e+08, fraction=0.28, passes=5)),
+        _spec("fw_block", "blocked Floyd-Warshall",
+              lambda: _graph("fw_block", graph_mb=40, props_mb=8, iterations=40,
+                             flops=2.1e+08, fraction=0.35, passes=4.5)),
+        _spec("mis", "maximal independent set",
+              lambda: _graph("mis", graph_mb=22, props_mb=8, iterations=48,
+                             flops=4.5e+07, fraction=0.75)),
+        _spec("pr", "PageRank",
+              lambda: _graph("pr", graph_mb=30, props_mb=12, iterations=80,
+                             flops=1e+08, fraction=0.95, passes=3)),
+        _spec("pr_spmv", "PageRank via SpMV; GPU writes fault against the "
+              "serialized CPU page-fault handler",
+              lambda: _graph("pr_spmv", graph_mb=30, props_mb=12, iterations=80,
+                             flops=9e+07, fraction=0.95, passes=3,
+                             pagefault_heavy=True),
+              pagefault_heavy=True),
+        _spec("sssp", "single-source shortest paths",
+              lambda: _graph("sssp", graph_mb=28, props_mb=9, iterations=64,
+                             flops=6.5e+07, fraction=0.6)),
+        _spec("sssp_ell", "SSSP with ELLPACK layout",
+              lambda: _graph("sssp_ell", graph_mb=34, props_mb=9, iterations=64,
+                             flops=7e+07, fraction=0.6, passes=3.5)),
+    )

@@ -1,0 +1,225 @@
+"""The Parboil benchmark suite (Stratton et al., 2012).
+
+Twelve throughput-computing benchmarks; eight have producer-consumer
+communication and are simulated.  cutcp and fft retain copies the
+limited-copy port cannot remove (double-buffering); fft and stencil carry
+significant CPU-side data-movement work (double buffering / clearing) that
+Section V-B flags as migration candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+from repro.workloads.spec import BenchmarkSpec
+from repro.workloads.templates import dense_app, graph_app, stencil_app
+
+SUITE = "parboil"
+
+
+def _spec(
+    name: str,
+    description: str,
+    build=None,
+    *,
+    pc_comm: bool = True,
+    irregular: bool = False,
+    sw_queue: bool = False,
+    bandwidth_limited: bool = False,
+    misaligned: bool = False,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        suite=SUITE,
+        description=description,
+        pc_comm=pc_comm,
+        pipe_parallel=pc_comm,
+        regular_pc=pc_comm,
+        irregular=irregular,
+        sw_queue=sw_queue,
+        build=build,
+        bandwidth_limited=bandwidth_limited,
+        misaligned_limited_copy=misaligned,
+    )
+
+
+def _bfs() -> Pipeline:
+    return graph_app(
+        "parboil/bfs",
+        graph_bytes=26 * MB,
+        props_bytes=8 * MB,
+        iterations=56,
+        gpu_flops_per_iter=4e7,
+        touched_fraction=0.35,
+        passes_per_iter=3.5,
+        uses_worklist=True,
+        worklist_bytes=4 * MB,
+    )
+
+
+def _cutcp() -> Pipeline:
+    """Cutoff Coulombic potential: compute-dense lattice kernel; the
+    double-buffered lattice copies resist removal."""
+    b = PipelineBuilder("parboil/cutcp", metadata={"outputs": ("lattice",)})
+    b.buffer("atoms", 6 * MB)
+    b.buffer("lattice", 16 * MB)
+    b.copy_h2d("atoms")
+    b.copy_h2d("lattice", mirror=False)  # double-buffered; not removable
+    for step in range(2):
+        b.gpu_kernel(
+            f"potential_{step}",
+            flops=5.5e9,
+            reads=[
+                BufferAccess("atoms_dev", AccessPattern.STREAMING, passes=4.0),
+                BufferAccess("lattice_dev", AccessPattern.STENCIL),
+            ],
+            writes=[BufferAccess("lattice_dev", AccessPattern.STREAMING)],
+            efficiency=0.7,
+            chunkable=True,
+        )
+    b.copy_d2h("lattice_dev", "lattice", mirror=False, name="d2h_lattice")
+    b.cpu_stage(
+        "finalize",
+        flops=4e6,
+        reads=[BufferAccess("lattice", AccessPattern.STREAMING)],
+        occupancy=0.25,
+        migratable=True,
+    )
+    return b.build()
+
+
+def _fft() -> Pipeline:
+    """FFT: multi-pass butterflies with double-buffered intermediates; the
+    CPU shuffles buffers between passes (costly host memory operations) and
+    many-to-few data dependencies limit inter-stage optimization."""
+    b = PipelineBuilder("parboil/fft", metadata={"outputs": ("signal",)})
+    b.buffer("signal", 24 * MB)
+    b.buffer("twiddle", 2 * MB)
+    b.buffer("scratch", 24 * MB, temporary=True)
+    b.copy_h2d("signal", mirror=False)  # double buffer: not removable
+    b.copy_h2d("twiddle")
+    src, dst = "signal_dev", "scratch"
+    for step in range(3):
+        b.gpu_kernel(
+            f"butterfly_{step}",
+            flops=0.45e9,
+            reads=[
+                BufferAccess(src, AccessPattern.STRIDED, passes=2.0),
+                BufferAccess("twiddle_dev", AccessPattern.BROADCAST, passes=8.0,
+                             broadcast=True),
+            ],
+            writes=[BufferAccess(dst, AccessPattern.STRIDED)],
+            efficiency=0.5,
+        )
+        src, dst = dst, src
+    b.copy_d2h(src, "signal", mirror=False, name="d2h_signal")
+    b.cpu_stage(
+        "reorder",
+        flops=6e6,
+        reads=[BufferAccess("signal", AccessPattern.STRIDED)],
+        writes=[BufferAccess("signal", AccessPattern.STRIDED)],
+        occupancy=0.25,
+        migratable=True,
+    )
+    return b.build()
+
+
+def _histo() -> Pipeline:
+    """Histogramming: streaming input, contended scatter into small bins."""
+    b = PipelineBuilder("parboil/histo", metadata={"outputs": ("bins",)})
+    b.buffer("image", 28 * MB)
+    b.buffer("bins", 4 * MB)
+    b.copy_h2d("image", chunkable=True)
+    b.mirror("bins")
+    b.gpu_kernel(
+        "histogram",
+        flops=220e6,
+        reads=[BufferAccess("image_dev", AccessPattern.STREAMING)],
+        writes=[BufferAccess("bins_dev", AccessPattern.RANDOM, passes=12.0)],
+        efficiency=0.25,
+        chunkable=True,
+    )
+    b.copy_d2h("bins_dev", "bins", name="d2h_bins", chunkable=True)
+    b.cpu_stage(
+        "final_merge",
+        flops=8e6,
+        reads=[BufferAccess("bins", AccessPattern.STREAMING)],
+        writes=[BufferAccess("bins", AccessPattern.STREAMING)],
+        occupancy=0.25,
+        migratable=True,
+    )
+    return b.build()
+
+
+def _lbm() -> Pipeline:
+    return stencil_app(
+        "parboil/lbm",
+        grid_bytes=40 * MB,
+        iterations=4,
+        flops_per_sweep=1.2e9,
+        efficiency=0.45,
+        temp_bytes=8 * MB,
+    )
+
+
+def _sgemm() -> Pipeline:
+    return dense_app(
+        "parboil/sgemm",
+        input_bytes={"mat_a": 16 * MB, "mat_b": 16 * MB},
+        output_bytes={"mat_c": 16 * MB},
+        kernel_flops=[14e9],
+        input_passes=3.0,
+        efficiency=0.75,
+        aligned=False,
+    )
+
+
+def _spmv() -> Pipeline:
+    return graph_app(
+        "parboil/spmv",
+        graph_bytes=30 * MB,
+        props_bytes=6 * MB,
+        iterations=48,
+        gpu_flops_per_iter=6e7,
+        touched_fraction=0.9,
+        passes_per_iter=3.5,
+        efficiency=0.22,
+    )
+
+
+def _stencil() -> Pipeline:
+    return stencil_app(
+        "parboil/stencil",
+        grid_bytes=32 * MB,
+        iterations=1,
+        flops_per_sweep=2.4e9,
+        efficiency=0.6,
+        aligned=False,
+        chunkable=True,
+    )
+
+
+def specs() -> Tuple[BenchmarkSpec, ...]:
+    return (
+        _spec("bfs", "breadth-first search", _bfs,
+              irregular=True, sw_queue=True, bandwidth_limited=True),
+        _spec("cutcp", "cutoff Coulombic potential", _cutcp),
+        _spec("fft", "fast Fourier transform", _fft),
+        _spec("histo", "saturating histogram", _histo, irregular=True),
+        _spec("lbm", "Lattice-Boltzmann method", _lbm, bandwidth_limited=True),
+        _spec("mri_gridding", "MRI gridding (not simulated)", None, pc_comm=False),
+        _spec("mri_q", "MRI Q-matrix (not simulated)", None, pc_comm=False),
+        _spec("sad", "sum of absolute differences (not simulated)", None,
+              pc_comm=False),
+        _spec("sgemm", "dense matrix multiply", _sgemm, misaligned=True),
+        _spec("spmv", "sparse matrix-vector multiply", _spmv,
+              irregular=True, bandwidth_limited=True),
+        _spec("stencil", "3D Jacobi stencil", _stencil, misaligned=True),
+        _spec("tpacf", "two-point angular correlation (not simulated)", None,
+              pc_comm=False),
+    )

@@ -1,0 +1,392 @@
+"""The Rodinia benchmark suite (Che et al., IISWC 2009).
+
+Twenty-two heterogeneous-computing benchmarks — image/signal processing,
+machine learning, scientific numerics, and a couple of graph handlers.
+Seventeen are simulated.  kmeans is the paper's Section II case study and
+its parameters here are calibrated so the Fig. 3 organization sequence
+(baseline / async streams / no-copy / parallel / parallel+cache) reproduces
+the published shape: copies >50% of baseline run time, GPU ~95% of FLOPs
+but <20% utilization, ~2x from copy removal and ~2x more from overlap plus
+caching.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import BufferAccess, Region
+from repro.units import MB
+from repro.workloads.spec import BenchmarkSpec
+from repro.workloads.templates import (
+    dense_app,
+    graph_app,
+    offload_loop_app,
+    stencil_app,
+)
+
+SUITE = "rodinia"
+
+
+def _spec(
+    name: str,
+    description: str,
+    build=None,
+    *,
+    pc_comm: bool = True,
+    pipe_parallel: bool = True,
+    irregular: bool = False,
+    bandwidth_limited: bool = False,
+    misaligned: bool = False,
+    pagefault_heavy: bool = False,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        suite=SUITE,
+        description=description,
+        pc_comm=pc_comm,
+        pipe_parallel=pc_comm and pipe_parallel,
+        regular_pc=pc_comm,
+        irregular=irregular,
+        sw_queue=False,
+        build=build,
+        bandwidth_limited=bandwidth_limited,
+        misaligned_limited_copy=misaligned,
+        pagefault_heavy=pagefault_heavy,
+    )
+
+
+def kmeans_pipeline() -> Pipeline:
+    """The Section II case-study workload (see module docstring)."""
+    return offload_loop_app(
+        "rodinia/kmeans",
+        data_bytes=32 * MB,       # point features
+        state_bytes=64 * 1024,    # cluster centres
+        result_bytes=6 * MB,      # per-point assignments
+        iterations=8,
+        gpu_flops_per_iter=110e6,
+        cpu_flops_per_iter=2e6,
+        extra_d2h_bytes=2 * MB,   # per-block partial sums
+        gpu_efficiency=0.6,
+        cpu_result_fraction=0.3,  # the CPU folds partials, samples assignments
+    )
+
+
+def _backprop() -> Pipeline:
+    """Two-layer neural net training step: forward kernel, CPU reduction,
+    backward kernel; wide data parallelism per kernel (Section V-A
+    validation benchmark); many-to-few dependencies between stages."""
+    b = PipelineBuilder("rodinia/backprop", metadata={"outputs": ("weights",)})
+    b.buffer("input", 24 * MB)
+    b.buffer("weights", 16 * MB)
+    b.buffer("hidden", 8 * MB)
+    b.copy_h2d("input", chunkable=True)
+    b.copy_h2d("weights", chunkable=True)
+    b.mirror("hidden")
+    b.gpu_kernel(
+        "forward",
+        flops=2.2e9,
+        reads=[
+            BufferAccess("input_dev", AccessPattern.STREAMING),
+            BufferAccess("weights_dev", AccessPattern.STREAMING, passes=2.0),
+        ],
+        writes=[BufferAccess("hidden_dev", AccessPattern.STREAMING)],
+        efficiency=0.55,
+        chunkable=True,
+    )
+    b.copy_d2h("hidden_dev", "hidden", name="d2h_hidden", chunkable=True)
+    b.cpu_stage(
+        "reduce_error",
+        flops=12e6,
+        reads=[BufferAccess("hidden", AccessPattern.STREAMING)],
+        writes=[BufferAccess("hidden", AccessPattern.STREAMING, passes=0.1)],
+        occupancy=0.25,
+        chunkable=True,
+        migratable=True,
+    )
+    b.copy_h2d("hidden", "hidden_dev", name="h2d_hidden_back", chunkable=True)
+    b.gpu_kernel(
+        "backward",
+        flops=2.0e9,
+        reads=[
+            BufferAccess("hidden_dev", AccessPattern.STREAMING),
+            BufferAccess("input_dev", AccessPattern.STREAMING),
+        ],
+        writes=[BufferAccess("weights_dev", AccessPattern.STREAMING)],
+        efficiency=0.55,
+        chunkable=True,
+    )
+    b.copy_d2h("weights_dev", "weights", name="d2h_weights", chunkable=True)
+    return b.build()
+
+
+def _strmclstr() -> Pipeline:
+    """Streamcluster: GPU distance kernels feed a heavy, low-TLP CPU "pgain"
+    evaluation each round — the second Section V-B migration validation
+    benchmark."""
+    b = PipelineBuilder("rodinia/strmclstr", metadata={"outputs": ("centers",)})
+    b.buffer("points", 24 * MB)
+    b.buffer("centers", 512 * 1024)
+    b.buffer("assign", 4 * MB)
+    b.copy_h2d("points")
+    b.copy_h2d("centers")
+    b.mirror("assign")
+    for round_idx in range(5):
+        b.gpu_kernel(
+            f"dist_{round_idx}",
+            flops=240e6,
+            reads=[
+                BufferAccess("points_dev", AccessPattern.STREAMING),
+                BufferAccess("centers_dev", AccessPattern.BROADCAST, passes=12.0,
+                             broadcast=True),
+            ],
+            writes=[BufferAccess("assign_dev", AccessPattern.STREAMING)],
+            efficiency=0.55,
+            chunkable=True,
+        )
+        b.copy_d2h("assign_dev", "assign", name=f"d2h_assign_{round_idx}",
+                   chunkable=True)
+        b.cpu_stage(
+            f"pgain_{round_idx}",
+            flops=30e6,
+            reads=[
+                BufferAccess("assign", AccessPattern.STREAMING),
+                BufferAccess("points", AccessPattern.STRIDED, fraction=0.15),
+            ],
+            writes=[BufferAccess("centers", AccessPattern.STREAMING, passes=2.0)],
+            occupancy=0.25,
+            chunkable=True,
+            migratable=True,
+        )
+        if round_idx < 4:
+            b.copy_h2d("centers", "centers_dev", name=f"h2d_centers_r{round_idx}")
+    return b.build()
+
+
+def _dwt() -> Pipeline:
+    """2D discrete wavelet transform: GPU transform levels interleaved with
+    dominant single-threaded CPU quantization — CPU execution dominates the
+    baseline, so migration gains are large."""
+    b = PipelineBuilder("rodinia/dwt", metadata={"outputs": ("image",)})
+    b.buffer("image", 24 * MB)
+    b.buffer("coeffs", 24 * MB)
+    b.copy_h2d("image", mirror=False)  # double-buffered staging copy
+    b.mirror("coeffs")
+    for level in range(2):
+        b.gpu_kernel(
+            f"transform_{level}",
+            flops=600e6,
+            reads=[BufferAccess("image_dev", AccessPattern.STRIDED, passes=2.0)],
+            writes=[BufferAccess("coeffs_dev", AccessPattern.STRIDED)],
+            efficiency=0.45,
+        )
+        b.copy_d2h("coeffs_dev", "coeffs", name=f"d2h_coeffs_{level}")
+        b.cpu_stage(
+            f"quantize_{level}",
+            flops=180e6,
+            reads=[BufferAccess("coeffs", AccessPattern.STREAMING, passes=2.0)],
+            writes=[BufferAccess("image", AccessPattern.STREAMING)],
+            occupancy=0.25,
+            efficiency=0.3,
+            migratable=True,
+        )
+        if level == 0:
+            b.copy_h2d("image", "image_dev", name="h2d_level1", mirror=False)
+    return b.build()
+
+
+def _mummer() -> Pipeline:
+    """MUMmerGPU sequence alignment: pointer-chasing suffix-tree traversal;
+    the CPU streams query data from disk while the GPU executes (the one
+    Rodinia benchmark whose stages cannot be brought closer together), then
+    performs heavy post-processing."""
+    b = PipelineBuilder("rodinia/mummer", metadata={"outputs": ("matches",)})
+    b.buffer("tree", 30 * MB)
+    b.buffer("queries", 12 * MB)
+    b.buffer("matches", 8 * MB)
+    b.copy_h2d("tree")
+    b.copy_h2d("queries")
+    b.mirror("matches")
+    b.cpu_stage(
+        "disk_read",
+        flops=4e6,
+        writes=[BufferAccess("queries", AccessPattern.STREAMING)],
+        occupancy=0.25,
+    )
+    b.gpu_kernel(
+        "align",
+        flops=800e6,
+        reads=[
+            BufferAccess("tree_dev", AccessPattern.POINTER_CHASE, fraction=0.6,
+                         passes=4.0),
+            BufferAccess("queries_dev", AccessPattern.STREAMING),
+        ],
+        writes=[BufferAccess("matches_dev", AccessPattern.STREAMING)],
+        efficiency=0.12,
+    )
+    b.copy_d2h("matches_dev", "matches", name="d2h_matches")
+    b.cpu_stage(
+        "postprocess",
+        flops=60e6,
+        reads=[BufferAccess("matches", AccessPattern.STREAMING, passes=2.0)],
+        occupancy=0.25,
+        efficiency=0.3,
+    )
+    return b.build()
+
+
+def _heartwall() -> Pipeline:
+    """Heart-wall tracking: per-frame template-matching kernels with large
+    staging copies the port cannot remove; fault-heavy on the
+    heterogeneous processor."""
+    b = PipelineBuilder(
+        "rodinia/heartwall",
+        metadata={"outputs": ("positions",), "pagefault_heavy": True},
+    )
+    b.buffer("frames", 30 * MB)
+    b.buffer("templates", 4 * MB)
+    b.buffer("positions", 2 * MB)
+    b.buffer("workspace", 16 * MB, temporary=True)
+    b.copy_h2d("templates")
+    b.mirror("positions")
+    frames = 5
+    for f in range(frames):
+        region = (f / frames, (f + 1) / frames)
+        b.copy_h2d(
+            "frames",
+            name=f"h2d_frame_{f}",
+            mirror=(f == 0),
+            region=Region(*region),
+        )
+        b.gpu_kernel(
+            f"track_{f}",
+            flops=700e6,
+            reads=[
+                BufferAccess("frames_dev", AccessPattern.STENCIL,
+                             region=Region(*region)),
+                BufferAccess("templates_dev", AccessPattern.BROADCAST, passes=6.0,
+                             broadcast=True),
+                BufferAccess("workspace", AccessPattern.STREAMING, passes=0.5),
+            ],
+            writes=[
+                BufferAccess("positions_dev", AccessPattern.STREAMING),
+                BufferAccess("workspace", AccessPattern.STREAMING, passes=0.5),
+            ],
+            efficiency=0.4,
+        )
+    b.copy_d2h("positions_dev", "positions", name="d2h_positions")
+    return b.build()
+
+
+def _particlefilter(name: str, irregular: bool) -> Pipeline:
+    pattern = AccessPattern.RANDOM if irregular else AccessPattern.STREAMING
+    b = PipelineBuilder(f"rodinia/{name}", metadata={"outputs": ("weights",)})
+    b.buffer("frames", 20 * MB)
+    b.buffer("particles", 6 * MB)
+    b.buffer("weights", 6 * MB)
+    b.copy_h2d("frames")
+    b.copy_h2d("particles")
+    b.mirror("weights")
+    for step in range(4):
+        b.gpu_kernel(
+            f"weigh_{step}",
+            flops=150e6,
+            reads=[
+                BufferAccess("frames_dev", pattern, fraction=0.5, passes=2.0),
+                BufferAccess("particles_dev", AccessPattern.STREAMING),
+            ],
+            writes=[BufferAccess("weights_dev", AccessPattern.STREAMING)],
+            efficiency=0.35 if irregular else 0.5,
+        )
+        b.copy_d2h("weights_dev", "weights", name=f"d2h_weights_{step}")
+        b.cpu_stage(
+            f"resample_{step}",
+            flops=8e6,
+            reads=[BufferAccess("weights", AccessPattern.STREAMING)],
+            writes=[BufferAccess("particles", AccessPattern.STREAMING)],
+            occupancy=0.25,
+            migratable=True,
+        )
+        if step < 3:
+            b.copy_h2d("particles", "particles_dev", name=f"h2d_particles_step{step}")
+    return b.build()
+
+
+def specs() -> Tuple[BenchmarkSpec, ...]:
+    return (
+        _spec("backprop", "neural-net training step", _backprop),
+        _spec("bfs", "breadth-first search",
+              lambda: graph_app("rodinia/bfs", graph_bytes=24 * MB,
+                                props_bytes=8 * MB, iterations=64,
+                                gpu_flops_per_iter=3e7, touched_fraction=0.3,
+                                passes_per_iter=3.5),
+              irregular=True, bandwidth_limited=True),
+        _spec("btree", "B+-tree search (not simulated)", None, irregular=True),
+        _spec("cell", "cellular automaton grid",
+              lambda: stencil_app("rodinia/cell", grid_bytes=24 * MB,
+                                  iterations=5, flops_per_sweep=700e6)),
+        _spec("cfd", "unstructured-grid Euler solver",
+              lambda: graph_app("rodinia/cfd", graph_bytes=36 * MB,
+                                props_bytes=12 * MB, iterations=40,
+                                gpu_flops_per_iter=2.5e8, touched_fraction=0.85,
+                                passes_per_iter=3.0, efficiency=0.3),
+              irregular=True, bandwidth_limited=True),
+        _spec("dwt", "2D discrete wavelet transform", _dwt),
+        _spec("gaussian", "Gaussian elimination: iterative refinement of most "
+              "of its data, so copies are few",
+              lambda: dense_app("rodinia/gaussian",
+                                input_bytes={"matrix": 16 * MB},
+                                output_bytes={"solution": 2 * MB},
+                                kernel_flops=[400e6] * 8,
+                                input_passes=2.0, efficiency=0.5,
+                                chunkable=False)),
+        _spec("heartwall", "heart-wall motion tracking", _heartwall,
+              pagefault_heavy=True),
+        _spec("hotspot", "thermal simulation stencil",
+              lambda: stencil_app("rodinia/hotspot", grid_bytes=16 * MB,
+                                  iterations=6, flops_per_sweep=500e6,
+                                  aligned=False),
+              misaligned=True),
+        _spec("kmeans", "k-means clustering (Section II case study)",
+              kmeans_pipeline),
+        _spec("lavamd", "molecular dynamics (not simulated)", None,
+              irregular=True),
+        _spec("leukocyte", "leukocyte tracking (not simulated)", None,
+              pc_comm=False),
+        _spec("lud", "LU decomposition",
+              lambda: dense_app("rodinia/lud",
+                                input_bytes={"matrix": 16 * MB},
+                                output_bytes={"factors": 16 * MB},
+                                kernel_flops=[500e6] * 6,
+                                input_passes=2.5, efficiency=0.55,
+                                chunkable=False)),
+        _spec("mummer", "MUMmerGPU sequence alignment", _mummer,
+              pipe_parallel=False, irregular=True),
+        _spec("myocyte", "cardiac myocyte simulation (not simulated)", None,
+              pc_comm=False),
+        _spec("nn", "k-nearest neighbours (not simulated)", None, pc_comm=False),
+        _spec("nw", "Needleman-Wunsch alignment; many-to-few dependencies",
+              lambda: stencil_app("rodinia/nw", grid_bytes=16 * MB,
+                                  iterations=4, flops_per_sweep=120e6,
+                                  efficiency=0.35, chunkable=False)),
+        _spec("pathfinder", "dynamic-programming grid walk",
+              lambda: stencil_app("rodinia/pathfinder", grid_bytes=24 * MB,
+                                  iterations=5, flops_per_sweep=350e6,
+                                  aligned=False),
+              misaligned=True),
+        _spec("pf_float", "particle filter, float kernels; page-fault "
+              "serialization cuts its GPU cache contention",
+              lambda: _particlefilter("pf_float", irregular=False)),
+        _spec("pf_naive", "particle filter, naive kernels",
+              lambda: _particlefilter("pf_naive", irregular=True),
+              irregular=True),
+        _spec("srad", "speckle-reducing anisotropic diffusion: large GPU "
+              "temporaries; 7x page-fault slowdown",
+              lambda: stencil_app("rodinia/srad", grid_bytes=24 * MB,
+                                  iterations=4, flops_per_sweep=600e6,
+                                  temp_bytes=24 * MB, pagefault_heavy=True),
+              pagefault_heavy=True),
+        _spec("strmclstr", "streamcluster online clustering", _strmclstr),
+    )

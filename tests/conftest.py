@@ -1,0 +1,69 @@
+"""Shared fixtures: tiny-scale simulation options and small pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.system import discrete_gpu_system, heterogeneous_processor
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import BufferAccess
+from repro.sim.engine import SimOptions
+from repro.units import MB
+
+#: Scale used throughout the test suite: big enough for cache behaviour to
+#: be non-trivial, small enough that a full pipeline simulates in ~10ms.
+TINY_SCALE = 1 / 128
+
+
+@pytest.fixture
+def tiny_options() -> SimOptions:
+    return SimOptions(scale=TINY_SCALE, seed=7)
+
+
+@pytest.fixture
+def discrete():
+    return discrete_gpu_system()
+
+
+@pytest.fixture
+def heterogeneous():
+    return heterogeneous_processor()
+
+
+def build_offload_pipeline(
+    name: str = "test/offload",
+    data_mb: int = 8,
+    result_mb: int = 2,
+    iterations: int = 2,
+) -> "Pipeline":
+    """A miniature kmeans-shaped pipeline: h2d, loop(kernel, d2h, cpu), out."""
+    b = PipelineBuilder(name, metadata={"outputs": ("result",)})
+    b.buffer("data", data_mb * MB)
+    b.buffer("result", result_mb * MB)
+    b.copy_h2d("data", chunkable=True)
+    b.mirror("result")
+    for i in range(iterations):
+        b.gpu_kernel(
+            f"map_{i}",
+            flops=5e7,
+            reads=[BufferAccess("data_dev", AccessPattern.STREAMING)],
+            writes=[BufferAccess("result_dev", AccessPattern.STREAMING)],
+            efficiency=0.5,
+            chunkable=True,
+        )
+        b.copy_d2h("result_dev", "result", name=f"d2h_{i}", chunkable=True)
+        b.cpu_stage(
+            f"reduce_{i}",
+            flops=1e6,
+            reads=[BufferAccess("result", AccessPattern.STREAMING)],
+            occupancy=0.25,
+            chunkable=True,
+            migratable=True,
+        )
+    return b.build()
+
+
+@pytest.fixture
+def offload_pipeline():
+    return build_offload_pipeline()

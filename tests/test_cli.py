@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY = "0.0078125"  # 1/128
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "show-config",
+            "list",
+            "run",
+            "table2",
+            "fig3",
+            "fig9",
+            "validate",
+            "ablations",
+            "all",
+        ):
+            assert command in text
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_show_config(self, capsys):
+        assert main(["show-config"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "179 GB/s" in out
+
+    def test_list_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmarks (58)" in out
+        assert "rodinia/kmeans" in out
+
+    def test_list_one_suite(self, capsys):
+        assert main(["list", "--suite", "pannotia"]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmarks (10)" in out
+        assert "lonestar" not in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_run_benchmark(self, capsys):
+        assert main(["run", "rodinia/kmeans", "--scale", TINY]) == 0
+        out = capsys.readouterr().out
+        assert "[copy]" in out and "[limited-copy]" in out
+        assert "roi_s" in out
+
+    def test_run_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["run", "rodinia/quake", "--scale", TINY])
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--scale", TINY]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "Parallel + Cache" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "rodinia/kmeans", "--scale", TINY]) == 0
+        out = capsys.readouterr().out
+        assert "Optimization advisor" in out
+        assert "remove memory copies" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "rodinia/kmeans", "--scale", TINY]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out and "gpu" in out
+        assert "map_0" in out
+
+    def test_timeline_limited(self, capsys):
+        assert main(
+            ["timeline", "rodinia/kmeans", "--limited", "--scale", TINY]
+        ) == 0
+        assert "heterogeneous" in capsys.readouterr().out
+
+    def test_export_to_stdout(self, capsys):
+        assert main(["export", "rodinia/kmeans", "--scale", TINY]) == 0
+        out = capsys.readouterr().out
+        assert '"schema": "repro.sim_result/v1"' in out
+
+    def test_run_spec(self, capsys, tmp_path):
+        import json
+
+        spec = {
+            "name": "demo/saxpy",
+            "outputs": ["y"],
+            "buffers": [
+                {"name": "x", "size": "4MB"},
+                {"name": "y", "size": "4MB"},
+            ],
+            "stages": [
+                {"op": "h2d", "buffer": "x"},
+                {"op": "gpu", "name": "k", "flops": 1e7,
+                 "reads": [{"buffer": "x_dev"}]},
+            ],
+        }
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps(spec))
+        assert main(["run-spec", str(path), "--scale", TINY]) == 0
+        out = capsys.readouterr().out
+        assert "demo/saxpy" in out and "porting changes run time" in out
+
+    def test_export_to_file(self, capsys, tmp_path):
+        target = tmp_path / "run.json"
+        assert main(
+            ["export", "rodinia/kmeans", "--scale", TINY,
+             "--output", str(target)]
+        ) == 0
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["pipeline"] == "rodinia/kmeans"

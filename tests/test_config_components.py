@@ -1,0 +1,111 @@
+"""Tests for repro.config.components."""
+
+import pytest
+
+from repro.config.components import (
+    DDR3_1600,
+    GDDR5,
+    CacheConfig,
+    CpuConfig,
+    GpuConfig,
+    MemoryConfig,
+    PcieConfig,
+)
+from repro.units import GB_PER_S, KB, MB
+
+
+class TestCacheConfig:
+    def test_table_i_gpu_l2_geometry(self):
+        l2 = CacheConfig(1 * MB, associativity=16)
+        assert l2.num_lines == 8192
+        assert l2.num_sets == 512
+        assert l2.line_bytes == 128
+
+    def test_rejects_non_power_of_two_lines(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheConfig(64 * KB, line_bytes=100)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            CacheConfig(0)
+
+    def test_rejects_capacity_not_multiple_of_set_granule(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheConfig(1000, line_bytes=128, associativity=8)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ValueError, match="associativity"):
+            CacheConfig(64 * KB, associativity=0)
+
+    def test_scaled_preserves_geometry_invariants(self):
+        cfg = CacheConfig(1 * MB, associativity=16)
+        small = cfg.scaled(1 / 32)
+        assert small.capacity_bytes == 32 * KB
+        assert small.associativity == cfg.associativity
+        assert small.line_bytes == cfg.line_bytes
+        assert small.capacity_bytes % (small.line_bytes * small.associativity) == 0
+
+    def test_scaled_never_drops_below_one_set(self):
+        cfg = CacheConfig(32 * KB, associativity=8)
+        tiny = cfg.scaled(1e-9)
+        assert tiny.num_sets >= 1
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheConfig(64 * KB).scaled(0)
+
+
+class TestCpuConfig:
+    def test_table_i_peak_flops(self):
+        cpu = CpuConfig()
+        # 4 cores x 14 GFLOP/s
+        assert cpu.peak_flops == pytest.approx(56e9)
+
+    def test_table_i_cache_sizes(self):
+        cpu = CpuConfig()
+        assert cpu.l1i.capacity_bytes == 32 * KB
+        assert cpu.l1d.capacity_bytes == 64 * KB
+        assert cpu.l2.capacity_bytes == 256 * KB
+        assert cpu.total_l2_bytes == 1 * MB
+
+
+class TestGpuConfig:
+    def test_table_i_peak_flops(self):
+        gpu = GpuConfig()
+        # 16 cores x 22.4 GFLOP/s
+        assert gpu.peak_flops == pytest.approx(358.4e9)
+
+    def test_table_i_max_threads(self):
+        gpu = GpuConfig()
+        # 16 cores x 48 warps x 32 threads
+        assert gpu.max_threads == 24576
+
+    def test_table_i_scratch_and_l1(self):
+        gpu = GpuConfig()
+        assert gpu.scratch_bytes_per_core == 48 * KB
+        assert gpu.l1.capacity_bytes == 24 * KB
+        assert gpu.l2.capacity_bytes == 1 * MB
+
+
+class TestMemoryConfig:
+    def test_table_i_bandwidths(self):
+        assert DDR3_1600.peak_bandwidth == pytest.approx(24 * GB_PER_S)
+        assert GDDR5.peak_bandwidth == pytest.approx(179 * GB_PER_S)
+
+    def test_achievable_is_82_percent_of_pin(self):
+        assert GDDR5.achievable_bandwidth == pytest.approx(0.82 * 179 * GB_PER_S)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError, match="efficiency"):
+            MemoryConfig("x", 1, 1e9, efficiency=1.5)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            MemoryConfig("x", 1, 0.0)
+
+
+class TestPcieConfig:
+    def test_table_i_pcie(self):
+        pcie = PcieConfig()
+        assert pcie.peak_bandwidth == pytest.approx(8 * GB_PER_S)
+        assert pcie.achievable_bandwidth < pcie.peak_bandwidth

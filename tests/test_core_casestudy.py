@@ -1,0 +1,81 @@
+"""Tests for repro.core.casestudy (the Fig. 3 organization sequence)."""
+
+import pytest
+
+from repro.core.casestudy import (
+    ASYNC_COPY,
+    BASELINE,
+    NO_COPY,
+    ORGANIZATIONS,
+    PARALLEL,
+    PARALLEL_CACHE,
+    as_table,
+    case_study,
+)
+from repro.pipeline.transforms import remove_copies
+from repro.sim.engine import SimOptions
+
+from tests.conftest import TINY_SCALE, build_offload_pipeline
+
+
+@pytest.fixture(scope="module")
+def study_results():
+    pipeline = build_offload_pipeline(iterations=3)
+    return case_study(
+        pipeline, options=SimOptions(scale=TINY_SCALE), streams=3, chunks=8
+    )
+
+
+class TestCaseStudy:
+    def test_five_organizations_in_order(self, study_results):
+        assert [r.label for r in study_results] == list(ORGANIZATIONS)
+
+    def test_only_parallel_is_estimated(self, study_results):
+        estimated = {r.label for r in study_results if r.estimated}
+        assert estimated == {PARALLEL}
+
+    def test_baseline_is_slowest(self, study_results):
+        baseline = study_results[0]
+        for other in study_results[1:]:
+            assert other.runtime_s <= baseline.runtime_s * 1.05
+
+    def test_each_optimization_helps_or_holds(self, study_results):
+        by_label = {r.label: r for r in study_results}
+        assert by_label[ASYNC_COPY].runtime_s < by_label[BASELINE].runtime_s
+        assert by_label[NO_COPY].runtime_s < by_label[BASELINE].runtime_s
+        assert by_label[PARALLEL].runtime_s <= by_label[NO_COPY].runtime_s
+        assert (
+            by_label[PARALLEL_CACHE].runtime_s
+            < by_label[NO_COPY].runtime_s
+        )
+
+    def test_gpu_utilization_rises_along_the_sequence(self, study_results):
+        by_label = {r.label: r for r in study_results}
+        assert (
+            by_label[PARALLEL_CACHE].gpu_utilization
+            > by_label[NO_COPY].gpu_utilization
+            > by_label[BASELINE].gpu_utilization
+        )
+
+    def test_no_copy_has_zero_copy_time(self, study_results):
+        by_label = {r.label: r for r in study_results}
+        assert by_label[NO_COPY].copy_busy_s == 0.0
+
+    def test_simulated_results_carry_sim_result(self, study_results):
+        for r in study_results:
+            if r.estimated:
+                assert r.result is None
+            else:
+                assert r.result is not None
+
+    def test_rejects_limited_copy_input(self):
+        limited = remove_copies(build_offload_pipeline())
+        with pytest.raises(ValueError, match="copy"):
+            case_study(limited, options=SimOptions(scale=TINY_SCALE))
+
+    def test_as_table(self, study_results):
+        table = as_table(study_results)
+        assert set(table) == set(ORGANIZATIONS)
+        assert table[BASELINE]["normalized_runtime"] == pytest.approx(1.0)
+        for row in table.values():
+            assert 0.0 < row["normalized_runtime"] <= 1.05

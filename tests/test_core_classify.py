@@ -1,0 +1,161 @@
+"""Tests for repro.core.classify (the Fig. 9 access taxonomy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import AccessClass, Classification, classify_log
+
+R, W = False, True
+
+
+def classify(records):
+    """records: list of (block, is_write, logical_stage)."""
+    blocks = np.array([r[0] for r in records], dtype=np.int64)
+    is_write = np.array([r[1] for r in records], dtype=bool)
+    stage = np.array([r[2] for r in records], dtype=np.int32)
+    labels = classify_log(blocks, is_write, stage)
+    from repro.core.classify import _CLASS_OF_CODE
+
+    return [_CLASS_OF_CODE[int(code)] for code in labels]
+
+
+class TestRequired:
+    def test_first_read_is_compulsory(self):
+        assert classify([(1, R, 0)]) == [AccessClass.REQUIRED]
+
+    def test_final_write_is_compulsory(self):
+        labels = classify([(1, R, 0), (1, W, 0)])
+        assert labels == [AccessClass.REQUIRED, AccessClass.REQUIRED]
+
+    def test_long_range_reuse_is_required(self):
+        labels = classify([(1, R, 0), (1, R, 3)])
+        assert labels[1] is AccessClass.REQUIRED
+
+    def test_write_reread_far_later_is_required(self):
+        labels = classify([(1, W, 0), (1, R, 5)])
+        assert labels[0] is AccessClass.REQUIRED
+        assert labels[1] is AccessClass.REQUIRED
+
+    def test_write_overwritten_is_required(self):
+        labels = classify([(1, W, 0), (1, W, 1)])
+        assert labels == [AccessClass.REQUIRED, AccessClass.REQUIRED]
+
+
+class TestSpills:
+    def test_wr_spill_labels_both_sides(self):
+        labels = classify([(1, W, 0), (1, R, 1)])
+        assert labels == [AccessClass.WR_SPILL, AccessClass.WR_SPILL]
+
+    def test_rr_spill(self):
+        labels = classify([(1, R, 0), (1, R, 1)])
+        assert labels[1] is AccessClass.RR_SPILL
+
+    def test_spill_chain(self):
+        # Written in stage 0, read in 1, read again in 2.
+        labels = classify([(1, W, 0), (1, R, 1), (1, R, 2)])
+        assert labels[0] is AccessClass.WR_SPILL
+        assert labels[1] is AccessClass.WR_SPILL
+        assert labels[2] is AccessClass.RR_SPILL
+
+
+class TestContention:
+    def test_rr_contention(self):
+        labels = classify([(1, R, 0), (1, R, 0)])
+        assert labels[1] is AccessClass.RR_CONTENTION
+
+    def test_wr_contention_labels_both_sides(self):
+        labels = classify([(1, W, 0), (1, R, 0)])
+        assert labels == [AccessClass.WR_CONTENTION, AccessClass.WR_CONTENTION]
+
+    def test_streaming_has_no_contention(self):
+        records = [(b, R, 0) for b in range(100)]
+        labels = classify(records)
+        assert all(label is AccessClass.REQUIRED for label in labels)
+
+    def test_thrashing_is_contention(self):
+        records = [(b, R, 0) for b in range(10)] * 3
+        labels = classify(records)
+        contended = [l for l in labels if l is AccessClass.RR_CONTENTION]
+        assert len(contended) == 20  # all but the first pass
+
+
+class TestInterleavedBlocks:
+    def test_blocks_classified_independently(self):
+        labels = classify([(1, R, 0), (2, R, 0), (1, R, 0), (2, R, 1)])
+        assert labels[2] is AccessClass.RR_CONTENTION  # block 1 same stage
+        assert labels[3] is AccessClass.RR_SPILL  # block 2 next stage
+
+    def test_every_access_gets_exactly_one_label(self):
+        rng = np.random.default_rng(0)
+        n = 500
+        records = [
+            (int(rng.integers(0, 50)), bool(rng.integers(0, 2)), int(rng.integers(0, 5)))
+            for _ in range(n)
+        ]
+        # Stages must be non-decreasing in program order for the model.
+        records.sort(key=lambda r: r[2])
+        labels = classify(records)
+        assert len(labels) == n
+
+
+class TestClassification:
+    def test_counts_and_fractions(self):
+        counts = {cls: 0 for cls in AccessClass}
+        counts[AccessClass.REQUIRED] = 60
+        counts[AccessClass.RR_CONTENTION] = 40
+        cls = Classification(counts=counts)
+        assert cls.total == 100
+        assert cls.fraction(AccessClass.RR_CONTENTION) == pytest.approx(0.4)
+        assert cls.contention_fraction == pytest.approx(0.4)
+        assert cls.spill_fraction == 0.0
+        assert cls.avoidable == 40
+
+    def test_empty_classification(self):
+        cls = Classification(counts={c: 0 for c in AccessClass})
+        assert cls.total == 0
+        assert cls.fraction(AccessClass.REQUIRED) == 0.0
+
+    def test_empty_log(self):
+        labels = classify([])
+        assert labels == []
+
+
+class TestClassifyResult:
+    def test_contention_appears_when_footprint_exceeds_cache(
+        self, discrete, tiny_options
+    ):
+        from repro.core.classify import classify_result
+        from repro.pipeline.builder import PipelineBuilder
+        from repro.pipeline.patterns import AccessPattern
+        from repro.pipeline.stage import BufferAccess
+        from repro.sim.engine import simulate
+        from repro.units import MB
+
+        b = PipelineBuilder("t")
+        b.buffer("big", 64 * MB)
+        b.copy_h2d("big")
+        b.gpu_kernel(
+            "k",
+            flops=1e6,
+            reads=[BufferAccess("big_dev", AccessPattern.RANDOM, passes=4.0)],
+        )
+        result = simulate(b.build(), discrete, tiny_options)
+        cls = classify_result(result)
+        assert cls.counts[AccessClass.RR_CONTENTION] > 0
+        assert cls.contention_fraction > 0.2
+
+    def test_streaming_pipeline_mostly_required(self, discrete, tiny_options):
+        from repro.core.classify import classify_result
+        from repro.pipeline.builder import PipelineBuilder
+        from repro.pipeline.stage import BufferAccess
+        from repro.sim.engine import simulate
+        from repro.units import MB
+
+        b = PipelineBuilder("t")
+        b.buffer("data", 32 * MB)
+        b.copy_h2d("data")
+        b.gpu_kernel("k", flops=1e6, reads=[BufferAccess("data_dev")])
+        result = simulate(b.build(), discrete, tiny_options)
+        cls = classify_result(result)
+        # One sweep over streamed data: contention should be negligible.
+        assert cls.contention_fraction < 0.05

@@ -1,0 +1,120 @@
+"""Tests for repro.core.footprint and repro.core.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.footprint import (
+    SUBSET_ORDER,
+    footprint_breakdown,
+    subset_label,
+)
+from repro.core.metrics import geomean, improvement, normalize, safe_ratio
+from repro.sim.hierarchy import Component
+from repro.sim.results import SimResult
+
+
+def fake_result(cpu_blocks, gpu_blocks, copy_blocks, line_bytes=128):
+    return SimResult(
+        pipeline_name="t",
+        system_kind="discrete",
+        roi_s=1.0,
+        stages=(),
+        busy={c: [] for c in Component},
+        launch_intervals=[],
+        line_bytes=line_bytes,
+        touched_blocks={
+            Component.CPU: np.asarray(sorted(cpu_blocks), dtype=np.int64),
+            Component.GPU: np.asarray(sorted(gpu_blocks), dtype=np.int64),
+            Component.COPY: np.asarray(sorted(copy_blocks), dtype=np.int64),
+        },
+    )
+
+
+class TestFootprintBreakdown:
+    def test_exclusive_partition(self):
+        result = fake_result(
+            cpu_blocks=[1, 2, 3],
+            gpu_blocks=[3, 4],
+            copy_blocks=[4, 5],
+        )
+        breakdown = footprint_breakdown(result)
+        get = lambda *comps: breakdown.bytes_by_subset.get(
+            frozenset(comps), 0
+        )
+        assert get(Component.CPU) == 2 * 128            # blocks 1,2
+        assert get(Component.CPU, Component.GPU) == 128  # block 3
+        assert get(Component.GPU, Component.COPY) == 128  # block 4
+        assert get(Component.COPY) == 128                # block 5
+        assert breakdown.total_bytes == 5 * 128
+
+    def test_bytes_touched_by_component(self):
+        result = fake_result([1, 2], [2, 3], [])
+        breakdown = footprint_breakdown(result)
+        assert breakdown.bytes_touched_by(Component.CPU) == 2 * 128
+        assert breakdown.bytes_touched_by(Component.GPU) == 2 * 128
+        assert breakdown.bytes_touched_by(Component.COPY) == 0
+
+    def test_fractions_sum_to_one(self):
+        result = fake_result([1, 2], [3], [4, 5, 6])
+        breakdown = footprint_breakdown(result)
+        assert sum(
+            breakdown.fraction(s) for s in breakdown.bytes_by_subset
+        ) == pytest.approx(1.0)
+
+    def test_normalized_to_other_total(self):
+        result = fake_result([1], [], [])
+        breakdown = footprint_breakdown(result)
+        normalized = breakdown.normalized_to(4 * 128)
+        assert normalized[frozenset({Component.CPU})] == pytest.approx(0.25)
+
+    def test_normalized_rejects_zero_baseline(self):
+        result = fake_result([1], [], [])
+        with pytest.raises(ValueError):
+            footprint_breakdown(result).normalized_to(0)
+
+    def test_empty_result(self):
+        breakdown = footprint_breakdown(fake_result([], [], []))
+        assert breakdown.total_bytes == 0
+
+    def test_subset_labels(self):
+        assert subset_label(frozenset({Component.CPU})) == "cpu"
+        assert subset_label(frozenset({Component.CPU, Component.GPU})) == "cpu+gpu"
+        assert subset_label(frozenset()) == "untouched"
+
+    def test_subset_order_covers_all_nonempty_combinations(self):
+        assert len(SUBSET_ORDER) == 7
+        assert len(set(SUBSET_ORDER)) == 7
+
+
+class TestMetrics:
+    def test_geomean_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_normalize(self):
+        assert normalize({"a": 2.0, "b": 4.0}, 2.0) == {"a": 1.0, "b": 2.0}
+
+    def test_normalize_rejects_zero(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 1.0}, 0.0)
+
+    def test_safe_ratio(self):
+        assert safe_ratio(1.0, 2.0) == 0.5
+        assert safe_ratio(1.0, 0.0) == 0.0
+        assert safe_ratio(1.0, 0.0, default=-1.0) == -1.0
+
+    def test_improvement(self):
+        assert improvement(10.0, 6.3) == pytest.approx(0.37)
+        assert improvement(10.0, 10.0) == 0.0
+        with pytest.raises(ValueError):
+            improvement(0.0, 1.0)

@@ -1,0 +1,96 @@
+"""Tests for repro.core.migrate (Eqs. 2-4)."""
+
+import pytest
+
+from repro.config.system import discrete_gpu_system, heterogeneous_processor
+from repro.core.migrate import (
+    MigrateBound,
+    achieved_bandwidth,
+    migrated_compute_runtime,
+)
+from repro.core.overlap import ComponentTimes
+
+
+def times(cpu=0.0, copy=0.0, gpu=0.0):
+    return ComponentTimes(
+        cpu_s=cpu, copy_s=copy, gpu_s=gpu, cserial_s=0.0, roi_s=cpu + copy + gpu
+    )
+
+
+class TestEquationTwo:
+    def test_core_bound_is_flop_weighted_mean(self):
+        system = discrete_gpu_system()
+        estimate = migrated_compute_runtime(
+            times(cpu=10.0, gpu=2.0), system, offchip_bytes=0.0
+        )
+        f_cpu = system.cpu.peak_flops
+        f_gpu = system.gpu.peak_flops
+        expected = (10.0 * f_cpu + 2.0 * f_gpu) / (f_cpu + f_gpu)
+        assert estimate.core_bound_s == pytest.approx(expected)
+
+    def test_cpu_heavy_work_shrinks_a_lot(self):
+        # CPU-dominated run times see large estimated gains (Rodinia dwt).
+        system = discrete_gpu_system()
+        estimate = migrated_compute_runtime(
+            times(cpu=10.0, gpu=0.0), system, offchip_bytes=0.0
+        )
+        assert estimate.runtime_s < 10.0 * 0.2
+
+    def test_gpu_only_work_barely_changes(self):
+        system = discrete_gpu_system()
+        estimate = migrated_compute_runtime(
+            times(gpu=10.0), system, offchip_bytes=0.0
+        )
+        # GPU already holds ~86% of the FLOP capacity.
+        assert estimate.core_bound_s > 8.0
+
+
+class TestEquationThree:
+    def test_bandwidth_bound(self):
+        system = heterogeneous_processor()
+        estimate = migrated_compute_runtime(
+            times(gpu=1e-6), system, offchip_bytes=1e9
+        )
+        expected = 1e9 / system.gpu_memory.achievable_bandwidth
+        assert estimate.bandwidth_bound_s == pytest.approx(expected)
+        assert estimate.bound is MigrateBound.BANDWIDTH
+
+    def test_discrete_sums_both_pools(self):
+        discrete = discrete_gpu_system()
+        assert achieved_bandwidth(discrete) == pytest.approx(
+            discrete.cpu_memory.achievable_bandwidth
+            + discrete.gpu_memory.achievable_bandwidth
+        )
+
+    def test_heterogeneous_uses_shared_pool(self):
+        hetero = heterogeneous_processor()
+        assert achieved_bandwidth(hetero) == pytest.approx(
+            hetero.gpu_memory.achievable_bandwidth
+        )
+
+
+class TestEquationFour:
+    def test_copy_bound_dominates_for_copy_heavy(self):
+        system = discrete_gpu_system()
+        estimate = migrated_compute_runtime(
+            times(cpu=0.1, copy=5.0, gpu=0.1), system, offchip_bytes=1.0
+        )
+        assert estimate.bound is MigrateBound.COPY
+        assert estimate.runtime_s == pytest.approx(5.0)
+
+    def test_runtime_is_max_of_bounds(self):
+        system = discrete_gpu_system()
+        estimate = migrated_compute_runtime(
+            times(cpu=1.0, copy=0.5, gpu=2.0), system, offchip_bytes=1e8
+        )
+        assert estimate.runtime_s == pytest.approx(
+            max(
+                estimate.copy_bound_s,
+                estimate.core_bound_s,
+                estimate.bandwidth_bound_s,
+            )
+        )
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            migrated_compute_runtime(times(), discrete_gpu_system(), -1.0)

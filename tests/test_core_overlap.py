@@ -1,0 +1,123 @@
+"""Tests for repro.core.overlap (Eq. 1) and repro.core.opportunity."""
+
+import pytest
+
+from repro.config.system import discrete_gpu_system
+from repro.core.opportunity import OpportunityReport
+from repro.core.overlap import (
+    ComponentTimes,
+    component_overlap_runtime,
+)
+from repro.sim.hierarchy import Component
+
+
+def times(cpu=0.0, copy=0.0, gpu=0.0, cserial=0.0, roi=None):
+    if roi is None:
+        roi = cpu + copy + gpu
+    return ComponentTimes(
+        cpu_s=cpu, copy_s=copy, gpu_s=gpu, cserial_s=cserial, roi_s=roi
+    )
+
+
+class TestEquationOne:
+    def test_gpu_bound(self):
+        estimate = component_overlap_runtime(times(cpu=1.0, copy=2.0, gpu=5.0))
+        assert estimate.runtime_s == pytest.approx(5.0)
+        assert estimate.bottleneck is Component.GPU
+
+    def test_copy_bound(self):
+        estimate = component_overlap_runtime(times(cpu=1.0, copy=7.0, gpu=5.0))
+        assert estimate.runtime_s == pytest.approx(7.0)
+        assert estimate.bottleneck is Component.COPY
+        assert estimate.copy_s == pytest.approx(7.0)
+
+    def test_cserial_added_on_top(self):
+        estimate = component_overlap_runtime(
+            times(cpu=3.0, copy=1.0, gpu=5.0, cserial=0.5)
+        )
+        assert estimate.runtime_s == pytest.approx(0.5 + 5.0)
+        assert estimate.cserial_s == 0.5
+
+    def test_cserial_subtracted_from_cpu(self):
+        # CPU 6s total of which 2 serial: overlappable CPU is 4s < GPU 5s.
+        estimate = component_overlap_runtime(
+            times(cpu=6.0, copy=1.0, gpu=5.0, cserial=2.0)
+        )
+        assert estimate.bottleneck is Component.GPU
+        assert estimate.runtime_s == pytest.approx(2.0 + 5.0)
+
+    def test_cpu_bound_when_cpu_dominates(self):
+        estimate = component_overlap_runtime(times(cpu=10.0, copy=1.0, gpu=2.0))
+        assert estimate.bottleneck is Component.CPU
+        assert estimate.runtime_s == pytest.approx(10.0)
+
+    def test_estimate_never_exceeds_serialized_sum(self):
+        t = times(cpu=3.0, copy=2.0, gpu=4.0, cserial=1.0)
+        estimate = component_overlap_runtime(t)
+        assert estimate.runtime_s <= t.cpu_s + t.copy_s + t.gpu_s
+
+    def test_estimate_at_least_each_component(self):
+        t = times(cpu=3.0, copy=2.0, gpu=4.0, cserial=1.0)
+        estimate = component_overlap_runtime(t)
+        assert estimate.runtime_s >= t.gpu_s
+        assert estimate.runtime_s >= t.copy_s
+        assert estimate.runtime_s >= t.cpu_s
+
+
+class TestComponentTimesValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            times(cpu=-1.0)
+
+    def test_cserial_cannot_exceed_cpu(self):
+        with pytest.raises(ValueError, match="Cserial"):
+            times(cpu=1.0, cserial=2.0)
+
+    def test_from_result(self, offload_pipeline, discrete, tiny_options):
+        from repro.sim.engine import simulate
+
+        result = simulate(offload_pipeline, discrete, tiny_options)
+        t = ComponentTimes.from_result(result)
+        assert t.roi_s == result.roi_s
+        assert t.gpu_s == pytest.approx(result.busy_time(Component.GPU))
+        assert 0.0 <= t.cserial_s <= t.cpu_s
+
+
+class TestOpportunity:
+    def make_report(self, roi=10.0, cpu_busy=2.0, gpu_busy=5.0):
+        system = discrete_gpu_system()
+        return OpportunityReport(
+            roi_s=roi,
+            cpu_busy_s=cpu_busy,
+            gpu_busy_s=gpu_busy,
+            cpu_peak_flops=system.cpu.peak_flops,
+            gpu_peak_flops=system.gpu.peak_flops,
+            cpu_flops_done=1e9,
+            gpu_flops_done=19e9,
+        )
+
+    def test_utilizations(self):
+        report = self.make_report()
+        assert report.cpu_utilization == pytest.approx(0.2)
+        assert report.gpu_utilization == pytest.approx(0.5)
+
+    def test_gpu_compute_share(self):
+        assert self.make_report().gpu_compute_share == pytest.approx(0.95)
+
+    def test_opportunity_cost_bounds(self):
+        report = self.make_report()
+        assert 0.0 <= report.flop_opportunity_cost <= 1.0
+
+    def test_fully_busy_has_zero_opportunity_cost(self):
+        report = self.make_report(roi=10.0, cpu_busy=10.0, gpu_busy=10.0)
+        assert report.flop_opportunity_cost == pytest.approx(0.0)
+
+    def test_fully_idle_has_full_opportunity_cost(self):
+        report = self.make_report(roi=10.0, cpu_busy=0.0, gpu_busy=0.0)
+        assert report.flop_opportunity_cost == pytest.approx(1.0)
+
+    def test_gpu_idle_dominates_opportunity(self):
+        # GPU peak is ~6.4x CPU peak, so GPU idling costs more FLOPs.
+        gpu_idle = self.make_report(roi=10.0, cpu_busy=10.0, gpu_busy=0.0)
+        cpu_idle = self.make_report(roi=10.0, cpu_busy=0.0, gpu_busy=10.0)
+        assert gpu_idle.flop_opportunity_cost > cpu_idle.flop_opportunity_cost

@@ -1,0 +1,122 @@
+"""Tests for repro.core.reuse (miss-ratio curves, footprint reports)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reuse import (
+    concurrent_footprint_report,
+    miss_ratio_curve,
+    reuse_time_histogram,
+    stage_footprints,
+)
+from repro.trace.stream import AccessStream
+from repro.units import KB, MB
+
+from tests.conftest import build_offload_pipeline
+
+
+class TestReuseTimeHistogram:
+    def test_all_cold_for_streaming(self):
+        stream = AccessStream.of(list(range(100)))
+        hist = reuse_time_histogram(stream)
+        assert hist["cold"] == 100
+        assert sum(v for k, v in hist.items() if k != "cold") == 0
+
+    def test_immediate_reuse(self):
+        stream = AccessStream.of([1, 1, 1, 1])
+        hist = reuse_time_histogram(stream, bin_edges=(1, 16))
+        assert hist["cold"] == 1
+        assert hist["<=1"] == 3
+
+    def test_long_reuse_lands_in_tail_bin(self):
+        blocks = [500] + list(range(1, 100)) + [500]
+        hist = reuse_time_histogram(AccessStream.of(blocks), bin_edges=(1, 16))
+        assert hist[">16"] == 1
+
+    def test_total_accounts_for_every_access(self):
+        rng = np.random.default_rng(0)
+        stream = AccessStream.of(rng.integers(0, 50, size=500).tolist())
+        hist = reuse_time_histogram(stream)
+        assert sum(hist.values()) == 500
+
+    def test_empty_stream(self):
+        hist = reuse_time_histogram(AccessStream.empty())
+        assert sum(hist.values()) == 0
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            reuse_time_histogram(AccessStream.of([1]), bin_edges=(16, 1))
+
+
+class TestMissRatioCurve:
+    def test_monotone_nonincreasing_in_capacity(self):
+        rng = np.random.default_rng(1)
+        stream = AccessStream.of(rng.integers(0, 2000, size=20000).tolist())
+        points = miss_ratio_curve(stream, [16 * KB, 64 * KB, 256 * KB, 1 * MB])
+        ratios = [p.miss_ratio for p in points]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_working_set_knee(self):
+        # 512 blocks (64kB) looped: fits in 128kB, thrashes in 16kB.
+        blocks = list(range(512)) * 8
+        points = miss_ratio_curve(AccessStream.of(blocks), [16 * KB, 128 * KB])
+        assert points[0].miss_ratio > 0.9
+        assert points[1].miss_ratio < 0.2
+
+    def test_capacity_rounded_to_geometry(self):
+        points = miss_ratio_curve(AccessStream.of([1, 2, 3]), [1000])
+        assert points[0].capacity_bytes % (128 * 16) == 0
+
+    def test_hit_plus_miss_is_one(self):
+        points = miss_ratio_curve(AccessStream.of([1, 1, 2]), [64 * KB])
+        assert points[0].hit_ratio + points[0].miss_ratio == pytest.approx(1.0)
+
+
+class TestStageFootprints:
+    def test_footprints_cover_all_stages(self):
+        pipeline = build_offload_pipeline(iterations=2)
+        footprints = stage_footprints(pipeline)
+        assert [f.stage for f in footprints] == [
+            s.name for s in pipeline.topological_order()
+        ]
+
+    def test_kernel_footprint_matches_buffers(self):
+        pipeline = build_offload_pipeline(data_mb=8, result_mb=2, iterations=1)
+        footprints = {f.stage: f for f in stage_footprints(pipeline)}
+        kernel = footprints["map_0"]
+        # Kernel streams data (8MB) and writes results (2MB).
+        assert kernel.unique_bytes == pytest.approx(10 * MB, rel=0.01)
+
+    def test_reuse_factor_one_for_streaming(self):
+        pipeline = build_offload_pipeline(iterations=1)
+        footprints = {f.stage: f for f in stage_footprints(pipeline)}
+        assert footprints["map_0"].reuse_factor == pytest.approx(1.0, rel=0.01)
+
+
+class TestConcurrentFootprintReport:
+    def test_overcommitted_stages_flagged(self):
+        pipeline = build_offload_pipeline(data_mb=8, iterations=1)
+        report = concurrent_footprint_report(pipeline, cache_bytes=1 * MB)
+        overcommitted = {f.stage for f in report.overcommitted_stages}
+        assert "map_0" in overcommitted
+
+    def test_no_overcommit_with_huge_cache(self):
+        pipeline = build_offload_pipeline(data_mb=8, iterations=1)
+        report = concurrent_footprint_report(pipeline, cache_bytes=64 * MB)
+        assert report.overcommitted_stages == ()
+
+    def test_recommended_chunks_fit_half_cache(self):
+        pipeline = build_offload_pipeline(data_mb=8, result_mb=2, iterations=1)
+        report = concurrent_footprint_report(pipeline, cache_bytes=2 * MB)
+        chunks = report.recommended_chunks("map_0")
+        footprint = next(
+            f for f in report.footprints if f.stage == "map_0"
+        ).unique_bytes
+        assert footprint / chunks <= 1 * MB
+
+    def test_max_stage_bytes(self):
+        pipeline = build_offload_pipeline(data_mb=8, result_mb=2, iterations=1)
+        report = concurrent_footprint_report(pipeline, cache_bytes=1 * MB)
+        assert report.max_stage_bytes == max(
+            f.unique_bytes for f in report.footprints
+        )

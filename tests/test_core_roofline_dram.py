@@ -1,0 +1,185 @@
+"""Tests for repro.core.roofline and repro.sim.dram_row."""
+
+import numpy as np
+import pytest
+
+from repro.config.system import discrete_gpu_system, heterogeneous_processor
+from repro.core.roofline import (
+    RooflineBound,
+    RooflinePoint,
+    memory_bound_fraction,
+    roofline_report,
+)
+from repro.sim.dram_row import (
+    RANDOM_EFFICIENCY,
+    SEQUENTIAL_EFFICIENCY,
+    effective_efficiency,
+    row_buffer_stats,
+    stream_efficiency,
+)
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.hierarchy import Component
+
+from tests.conftest import TINY_SCALE, build_offload_pipeline
+
+
+def make_point(flops, offchip_bytes, duration=1.0):
+    system = discrete_gpu_system()
+    return RooflinePoint(
+        stage="s",
+        component=Component.GPU,
+        flops=flops,
+        offchip_bytes=offchip_bytes,
+        duration_s=duration,
+        peak_flops=system.gpu.peak_flops,
+        peak_bandwidth=system.gpu_memory.achievable_bandwidth,
+    )
+
+
+class TestRooflinePoint:
+    def test_operational_intensity(self):
+        point = make_point(flops=1000.0, offchip_bytes=500)
+        assert point.operational_intensity == pytest.approx(2.0)
+
+    def test_zero_traffic_means_infinite_intensity(self):
+        point = make_point(flops=1000.0, offchip_bytes=0)
+        assert point.operational_intensity == float("inf")
+        assert point.bound is RooflineBound.COMPUTE
+
+    def test_high_intensity_is_compute_bound(self):
+        point = make_point(flops=1e12, offchip_bytes=100)
+        assert point.bound is RooflineBound.COMPUTE
+        assert point.roof_flops == point.peak_flops
+
+    def test_low_intensity_is_memory_bound(self):
+        point = make_point(flops=100.0, offchip_bytes=10_000_000)
+        assert point.bound is RooflineBound.MEMORY
+        assert point.roof_flops < point.peak_flops
+
+    def test_ridge_point(self):
+        system = discrete_gpu_system()
+        point = make_point(flops=1.0, offchip_bytes=1)
+        expected = system.gpu.peak_flops / system.gpu_memory.achievable_bandwidth
+        assert point.ridge_intensity == pytest.approx(expected)
+
+    def test_roof_continuous_at_ridge(self):
+        point = make_point(flops=1.0, offchip_bytes=1)
+        at_ridge = point.ridge_intensity * point.peak_bandwidth
+        assert at_ridge == pytest.approx(point.peak_flops)
+
+
+class TestRooflineReport:
+    def test_skips_copies_and_barriers(self, discrete, tiny_options):
+        pipeline = build_offload_pipeline()
+        result = simulate(pipeline, discrete, tiny_options)
+        points = roofline_report(result, discrete)
+        stages = {p.stage for p in points}
+        assert not any(s.startswith(("h2d", "d2h")) for s in stages)
+
+    def test_attained_never_far_above_roof(self, discrete, tiny_options):
+        pipeline = build_offload_pipeline()
+        result = simulate(pipeline, discrete, tiny_options)
+        for point in roofline_report(result, discrete):
+            # Model noise aside, attained rate stays at or below the roof.
+            assert point.attained_flops <= point.roof_flops * 1.5
+
+    def test_memory_bound_fraction_bounds(self, discrete, tiny_options):
+        pipeline = build_offload_pipeline()
+        result = simulate(pipeline, discrete, tiny_options)
+        fraction = memory_bound_fraction(roofline_report(result, discrete))
+        assert 0.0 <= fraction <= 1.0
+
+    def test_empty_points(self):
+        assert memory_bound_fraction([]) == 0.0
+
+
+class TestRowBufferStats:
+    def test_sequential_stream_all_hits(self):
+        blocks = np.arange(64, dtype=np.int64)  # 4 rows of 16 lines
+        stats = row_buffer_stats(blocks)
+        # 63 transitions, 3 row crossings.
+        assert stats.row_hits == 60
+        assert stats.hit_fraction == pytest.approx(60 / 64)
+
+    def test_random_stream_few_hits(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(0, 1_000_000, size=5000).astype(np.int64)
+        stats = row_buffer_stats(blocks)
+        assert stats.hit_fraction < 0.05
+
+    def test_single_access(self):
+        stats = row_buffer_stats(np.array([7], dtype=np.int64))
+        assert stats.accesses == 1
+        assert stats.hit_fraction == 0.0
+
+    def test_empty(self):
+        stats = row_buffer_stats(np.empty(0, dtype=np.int64))
+        assert stats.hit_fraction == 1.0  # vacuous: no penalty
+
+    def test_row_size_must_be_line_multiple(self):
+        with pytest.raises(ValueError):
+            row_buffer_stats(np.array([1], dtype=np.int64), row_bytes=200)
+
+
+class TestEffectiveEfficiency:
+    def test_sequential_approaches_upper_pole(self):
+        blocks = np.arange(10_000, dtype=np.int64)
+        assert stream_efficiency(blocks) > 0.9
+
+    def test_random_approaches_lower_pole(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(0, 10_000_000, size=10_000).astype(np.int64)
+        assert stream_efficiency(blocks) < RANDOM_EFFICIENCY + 0.05
+
+    def test_interpolation_bounds(self):
+        stats = row_buffer_stats(np.arange(100, dtype=np.int64))
+        eff = effective_efficiency(stats)
+        assert RANDOM_EFFICIENCY <= eff <= SEQUENTIAL_EFFICIENCY
+
+    def test_bad_poles_rejected(self):
+        stats = row_buffer_stats(np.arange(10, dtype=np.int64))
+        with pytest.raises(ValueError):
+            effective_efficiency(stats, sequential=0.5, random=0.9)
+
+
+class TestRowModelIntegration:
+    def test_random_workload_slows_down_with_row_model(self, tiny_options):
+        from repro.pipeline.builder import PipelineBuilder
+        from repro.pipeline.patterns import AccessPattern
+        from repro.pipeline.stage import BufferAccess
+        from repro.units import MB
+
+        b = PipelineBuilder("t")
+        b.buffer("big", 32 * MB)
+        b.copy_h2d("big")
+        # Memory-bound random kernel: tiny FLOPs, huge random traffic.
+        b.gpu_kernel(
+            "k",
+            flops=1e3,
+            reads=[BufferAccess("big_dev", AccessPattern.RANDOM, passes=3.0)],
+        )
+        pipeline = b.build()
+        system = discrete_gpu_system()
+        flat = simulate(pipeline, system, SimOptions(scale=TINY_SCALE))
+        row = simulate(
+            pipeline, system, SimOptions(scale=TINY_SCALE, dram_row_model=True)
+        )
+        assert row.roi_s > flat.roi_s
+
+    def test_streaming_workload_speeds_up_with_row_model(self, tiny_options):
+        from repro.pipeline.builder import PipelineBuilder
+        from repro.pipeline.stage import BufferAccess
+        from repro.units import MB
+
+        b = PipelineBuilder("t")
+        b.buffer("big", 32 * MB)
+        b.copy_h2d("big")
+        b.gpu_kernel("k", flops=1e3, reads=[BufferAccess("big_dev", passes=3.0)])
+        pipeline = b.build()
+        system = discrete_gpu_system()
+        flat = simulate(pipeline, system, SimOptions(scale=TINY_SCALE))
+        row = simulate(
+            pipeline, system, SimOptions(scale=TINY_SCALE, dram_row_model=True)
+        )
+        # Sequential sweeps beat the flat 82% assumption.
+        assert row.roi_s <= flat.roi_s

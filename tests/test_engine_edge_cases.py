@@ -1,0 +1,105 @@
+"""Engine edge cases: degenerate pipelines, unusual configurations."""
+
+import pytest
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.stage import BufferAccess, Stage, StageKind
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.hierarchy import Component
+from repro.units import KB, MB
+
+from tests.conftest import TINY_SCALE
+
+
+class TestDegeneratePipelines:
+    def test_empty_pipeline(self, discrete, tiny_options):
+        pipeline = Pipeline(name="empty", buffers={}, stages=())
+        result = simulate(pipeline, discrete, tiny_options)
+        assert result.roi_s == 0.0
+        assert result.offchip_accesses() == 0
+
+    def test_single_cpu_stage(self, discrete, tiny_options):
+        b = PipelineBuilder("t")
+        b.buffer("a", 1 * MB)
+        b.cpu_stage("only", flops=1e6, reads=[BufferAccess("a")])
+        result = simulate(b.build(), discrete, tiny_options)
+        assert result.busy_time(Component.CPU) > 0
+        assert result.busy_time(Component.GPU) == 0.0
+        assert result.launch_intervals == []
+
+    def test_copy_only_pipeline(self, discrete, tiny_options):
+        b = PipelineBuilder("t")
+        b.buffer("a", 1 * MB)
+        b.copy_h2d("a")
+        result = simulate(b.build(), discrete, tiny_options)
+        assert result.busy_time(Component.COPY) > 0
+        # Copies are CPU-launched, so a launch sliver exists.
+        assert len(result.launch_intervals) == 1
+
+    def test_zero_flop_stage_completes_instantly(self, discrete, tiny_options):
+        stage = Stage(name="noop", kind=StageKind.CPU, flops=0.0)
+        pipeline = Pipeline(name="t", buffers={}, stages=(stage,))
+        result = simulate(pipeline, discrete, tiny_options)
+        assert result.roi_s == pytest.approx(0.0)
+
+    def test_diamond_dependencies(self, discrete, tiny_options):
+        b = PipelineBuilder("t")
+        b.buffer("a", 1 * MB)
+        root = b.cpu_stage("root", flops=1e5, writes=[BufferAccess("a")])
+        b.cpu_stage("left", flops=1e5, reads=[BufferAccess("a")], after=[root])
+        b.cpu_stage("right", flops=1e5, reads=[BufferAccess("a")], after=[root])
+        b.cpu_stage("join", flops=1e5, after=["left", "right"])
+        result = simulate(b.build(), discrete, tiny_options)
+        by_name = {r.name: r for r in result.stages}
+        assert by_name["join"].start_s >= by_name["left"].end_s - 1e-12
+        assert by_name["join"].start_s >= by_name["right"].end_s - 1e-12
+
+    def test_wide_fanout_schedules_everything(self, discrete, tiny_options):
+        b = PipelineBuilder("t")
+        b.buffer("a", 1 * MB)
+        root = b.cpu_stage("root", flops=1e5, writes=[BufferAccess("a")])
+        for i in range(20):
+            b.gpu_kernel(
+                f"k{i}", flops=1e6, reads=[BufferAccess("a")], after=[root]
+            )
+        result = simulate(b.build(), discrete, tiny_options)
+        assert len(result.stages) == 21
+
+    def test_tiny_buffer_single_block(self, discrete, tiny_options):
+        b = PipelineBuilder("t")
+        b.buffer("tiny", 64)  # less than one line
+        b.cpu_stage("s", flops=10.0, reads=[BufferAccess("tiny")])
+        result = simulate(b.build(), discrete, tiny_options)
+        assert result.roi_s >= 0.0
+
+
+class TestOptionHandling:
+    def test_scale_one_runs_unscaled(self, discrete):
+        b = PipelineBuilder("t")
+        b.buffer("a", 256 * KB)
+        b.cpu_stage("s", flops=1e5, reads=[BufferAccess("a")])
+        result = simulate(b.build(), discrete, SimOptions(scale=1.0))
+        # 256KB = 2048 lines of compulsory misses.
+        assert result.offchip_accesses() >= 2048
+
+    def test_seed_only_changes_random_behaviour(self, discrete):
+        b = PipelineBuilder("t")
+        b.buffer("a", 1 * MB)
+        b.cpu_stage("s", flops=1e5, reads=[BufferAccess("a")])  # streaming
+        pipeline = b.build()
+        r1 = simulate(pipeline, discrete, SimOptions(scale=TINY_SCALE, seed=1))
+        r2 = simulate(pipeline, discrete, SimOptions(scale=TINY_SCALE, seed=2))
+        assert r1.roi_s == pytest.approx(r2.roi_s)
+
+    def test_same_pipeline_both_systems(self, discrete, heterogeneous, tiny_options):
+        # A copy pipeline is legal on the heterogeneous processor too:
+        # copies become in-memory moves.
+        b = PipelineBuilder("t")
+        b.buffer("a", 1 * MB)
+        b.copy_h2d("a")
+        b.gpu_kernel("k", flops=1e6, reads=[BufferAccess("a_dev")])
+        pipeline = b.build()
+        dis = simulate(pipeline, discrete, tiny_options)
+        het = simulate(pipeline, heterogeneous, tiny_options)
+        assert het.busy_time(Component.COPY) < dis.busy_time(Component.COPY)

@@ -1,0 +1,197 @@
+"""Tests for the per-figure experiment harnesses (on a small subset)."""
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7, fig8, fig9, table2
+from repro.experiments.report import format_csv, format_mapping, format_table
+from repro.experiments.runner import (
+    COPY,
+    LIMITED,
+    SweepRunner,
+)
+from repro.sim.engine import SimOptions
+from repro.sim.hierarchy import Component
+from repro.workloads.registry import get
+
+from tests.conftest import TINY_SCALE
+
+SUBSET = ("rodinia/kmeans", "lonestar/bfs", "parboil/sgemm")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(options=SimOptions(scale=TINY_SCALE))
+
+
+@pytest.fixture(scope="module")
+def subset():
+    return [get(name) for name in SUBSET]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(("A", "Blong"), [(1, 2.5), ("xx", None)])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "2.500" in text
+        assert "-" in lines[-1]
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(("A",), [(1, 2)])
+
+    def test_format_mapping(self):
+        text = format_mapping("T", {"key": 1.5})
+        assert "key" in text and "1.500" in text
+
+    def test_format_csv(self):
+        text = format_csv(("a", "b"), [(1, "x,y"), (2.5, None)])
+        lines = text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == '1,"x,y"'
+        assert lines[2] == "2.5,"
+
+    def test_format_csv_rejects_ragged(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            format_csv(("a",), [(1, 2)])
+
+    def test_format_csv_escapes_quotes(self):
+        text = format_csv(("a",), [('say "hi"',)])
+        assert text.splitlines()[1] == '"say ""hi"""' 
+
+
+class TestRunner:
+    def test_pair_caches_results(self, runner, subset):
+        first = runner.run(subset[0], COPY)
+        second = runner.run(subset[0], COPY)
+        assert first is second
+
+    def test_versions_differ(self, runner, subset):
+        pair = runner.pair(subset[0])
+        assert pair.copy.system_kind == "discrete"
+        assert pair.limited.system_kind == "heterogeneous"
+
+    def test_unknown_version_rejected(self, runner, subset):
+        with pytest.raises(ValueError):
+            runner.run(subset[0], "zero-copy")
+
+    def test_sweep_keyed_by_full_name(self, runner, subset):
+        sweep = runner.sweep(subset)
+        assert set(sweep) == set(SUBSET)
+
+
+class TestTable2:
+    def test_matches_paper(self):
+        assert table2.matches_paper(table2.run())
+
+    def test_render_says_match(self):
+        assert "MATCH" in table2.render()
+
+
+class TestFig4:
+    def test_limited_footprint_smaller(self, runner, subset):
+        rows = fig4.run(runner, subset)
+        for row in rows:
+            if row.benchmark == "rodinia/kmeans":
+                assert row.footprint_ratio < 0.8
+
+    def test_fractions_cover_total(self, runner, subset):
+        for row in fig4.run(runner, subset):
+            assert sum(row.copy_fractions.values()) == pytest.approx(1.0)
+
+    def test_render(self, runner, subset):
+        text = fig4.render(runner, subset)
+        assert "Fig. 4" in text and "rodinia/kmeans" in text
+
+
+class TestFig5:
+    def test_copy_accesses_nonzero_in_copy_version(self, runner, subset):
+        for row in fig5.run(runner, subset):
+            assert row.copy_accesses[Component.COPY] > 0
+
+    def test_limited_version_loses_copy_accesses(self, runner, subset):
+        for row in fig5.run(runner, subset):
+            assert (
+                row.limited_accesses[Component.COPY]
+                < row.copy_accesses[Component.COPY]
+            )
+
+    def test_total_accesses_drop(self, runner, subset):
+        rows = fig5.run(runner, subset)
+        stats = fig5.summary(rows)
+        assert stats["geomean_access_reduction"] > 0.0
+
+    def test_render_marks_misaligned(self, runner, subset):
+        text = fig5.render(runner, subset)
+        assert "parboil/sgemm*" in text
+
+
+class TestFig6:
+    def test_runtime_improves_for_copy_heavy(self, runner, subset):
+        rows = {r.benchmark: r for r in fig6.run(runner, subset)}
+        assert rows["rodinia/kmeans"].runtime_ratio < 0.8
+
+    def test_activity_sums_to_runtime(self, runner, subset):
+        for row in fig6.run(runner, subset):
+            for shares in (row.copy, row.limited):
+                total = (
+                    shares.copy_only_s
+                    + shares.cpu_only_s
+                    + shares.gpu_only_s
+                    + shares.overlap_s
+                    + shares.idle_s
+                )
+                assert total == pytest.approx(shares.runtime_s, rel=1e-6)
+
+    def test_copy_version_mostly_serialized(self, runner, subset):
+        for row in fig6.run(runner, subset):
+            assert row.copy.serial_fraction > 0.8
+
+    def test_render(self, runner, subset):
+        assert "Fig. 6" in fig6.render(runner, subset)
+
+
+class TestFig7:
+    def test_estimate_never_exceeds_measured(self, runner, subset):
+        for row in fig7.run(runner, subset):
+            assert row.copy_estimate.runtime_s <= row.copy_runtime_s * 1.0001
+            assert row.limited_estimate.runtime_s <= row.limited_runtime_s * 1.0001
+
+    def test_render(self, runner, subset):
+        assert "Eq" not in ""  # placeholder sanity
+        assert "Fig. 7" in fig7.render(runner, subset)
+
+
+class TestFig8:
+    def test_migrate_estimate_bounded_by_overlap_components(self, runner, subset):
+        for row in fig8.run(runner, subset):
+            # Rmc can beat Rco because work moves between cores, but it can
+            # never beat the copy-time bound.
+            assert row.copy_estimate.runtime_s >= row.copy_estimate.copy_bound_s
+
+    def test_kmeans_copy_bound_on_discrete(self, runner, subset):
+        rows = {r.benchmark: r for r in fig8.run(runner, subset)}
+        from repro.core.migrate import MigrateBound
+
+        assert rows["rodinia/kmeans"].copy_estimate.bound is MigrateBound.COPY
+
+    def test_render(self, runner, subset):
+        assert "Fig. 8" in fig8.render(runner, subset)
+
+
+class TestFig9:
+    def test_classifications_total_matches_log(self, runner, subset):
+        for row in fig9.run(runner, subset):
+            pair = runner.pair(get(row.benchmark))
+            assert row.copy.total == pair.copy.offchip_accesses()
+            assert row.limited.total == pair.limited.offchip_accesses()
+
+    def test_graph_benchmark_heavily_contended(self, runner, subset):
+        rows = {r.benchmark: r for r in fig9.run(runner, subset)}
+        assert rows["lonestar/bfs"].limited.contention_fraction > 0.3
+
+    def test_render_marks_bandwidth_limited(self, runner, subset):
+        text = fig9.render(runner, subset)
+        assert "lonestar/bfs*" in text

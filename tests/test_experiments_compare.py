@@ -1,0 +1,71 @@
+"""Tests for sweep comparison / stability analysis."""
+
+import pytest
+
+from repro.experiments.compare import (
+    BenchmarkDelta,
+    ComparisonReport,
+    scale_stability,
+    seed_stability,
+)
+from repro.workloads.registry import get
+
+from tests.conftest import TINY_SCALE
+
+SUBSET = [get(n) for n in ("rodinia/kmeans", "lonestar/bfs", "parboil/sgemm")]
+
+
+class TestSeedStability:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return seed_stability(seeds=(0, 1), scale=TINY_SCALE, specs=SUBSET)
+
+    def test_results_stable_across_seeds(self, report):
+        # Random access patterns change with the seed, but the figures'
+        # headline quantities should barely move.
+        assert report.max_runtime_drift < 0.10, report.render()
+        assert report.max_contention_drift < 0.10
+
+    def test_all_benchmarks_reported(self, report):
+        assert {d.benchmark for d in report.deltas} == {
+            s.full_name for s in SUBSET
+        }
+
+    def test_render(self, report):
+        text = report.render()
+        assert "seed 0" in text and "seed 1" in text
+        assert "drift" in text
+
+    def test_rejects_wrong_seed_count(self):
+        with pytest.raises(ValueError):
+            seed_stability(seeds=(0, 1, 2), specs=SUBSET)
+
+
+class TestScaleStability:
+    def test_ratios_scale_invariant(self):
+        report = scale_stability(
+            scales=(1 / 64, 1 / 128), specs=SUBSET
+        )
+        assert report.max_runtime_drift < 0.15, report.render()
+
+    def test_rejects_wrong_scale_count(self):
+        with pytest.raises(ValueError):
+            scale_stability(scales=(1 / 32,), specs=SUBSET)
+
+
+class TestDeltaArithmetic:
+    def test_drift_computation(self):
+        delta = BenchmarkDelta(
+            benchmark="x",
+            runtime_ratio_a=0.8,
+            runtime_ratio_b=0.88,
+            contention_a=0.5,
+            contention_b=0.45,
+        )
+        assert delta.runtime_ratio_drift == pytest.approx(0.1)
+        assert delta.contention_drift == pytest.approx(0.05)
+
+    def test_empty_report(self):
+        report = ComparisonReport("A", "B", [])
+        assert report.max_runtime_drift == 0.0
+        assert report.mean_runtime_drift == 0.0

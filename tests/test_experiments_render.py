@@ -1,0 +1,77 @@
+"""Rendering-path tests: every experiment's render() produces sane text."""
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7, fig8, fig9, table2
+from repro.experiments.runner import SweepRunner
+from repro.sim.engine import SimOptions
+from repro.workloads.registry import get
+
+from tests.conftest import TINY_SCALE
+
+SUBSET_NAMES = ("rodinia/kmeans", "lonestar/bfs")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(options=SimOptions(scale=TINY_SCALE))
+
+
+@pytest.fixture(scope="module")
+def subset():
+    return [get(name) for name in SUBSET_NAMES]
+
+
+FIG_MODULES = {
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FIG_MODULES))
+def test_every_figure_renders(name, runner, subset):
+    module = FIG_MODULES[name]
+    text = module.render(runner, subset)
+    # Header + one row per benchmark (at least).
+    assert f"Fig. {name[-1]}" in text
+    for benchmark in SUBSET_NAMES:
+        assert benchmark in text
+    # Paper comparison annotations are part of every figure's output.
+    assert "paper" in text.lower()
+
+
+@pytest.mark.parametrize("name", sorted(FIG_MODULES))
+def test_figure_tables_are_aligned(name, runner, subset):
+    module = FIG_MODULES[name]
+    lines = module.render(runner, subset).splitlines()
+    separators = [l for l in lines if set(l.strip()) <= {"-", " "} and l.strip()]
+    assert separators, "expected a header separator row"
+    header_index = lines.index(separators[0]) - 1
+    header = lines[header_index]
+    # All table rows are exactly as wide as (or narrower than) the ruler.
+    ruler = separators[0]
+    for line in lines[header_index + 1:]:
+        if not line.strip():
+            break
+        assert len(line.rstrip()) <= max(len(ruler), len(header)) + 2
+
+
+def test_table2_render_is_stable():
+    first = table2.render()
+    second = table2.render()
+    assert first == second
+
+
+def test_figures_use_shared_runner_cache(runner, subset):
+    # Rendering two figures should reuse the same simulation results.
+    before = dict(runner._cache)
+    fig4.render(runner, subset)
+    after_one = dict(runner._cache)
+    fig5.render(runner, subset)
+    after_two = dict(runner._cache)
+    assert set(after_one) == set(after_two)  # no new simulations for fig5
+    assert set(before) <= set(after_one)

@@ -1,0 +1,119 @@
+"""Tests for repro.pipeline.builder."""
+
+import pytest
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.graph import PipelineError
+from repro.pipeline.stage import StageKind
+
+
+class TestBuffers:
+    def test_duplicate_buffer_rejected(self):
+        b = PipelineBuilder("t")
+        b.buffer("x", 4096)
+        with pytest.raises(PipelineError, match="duplicate"):
+            b.buffer("x", 4096)
+
+    def test_mirror_creates_gpu_copy(self):
+        b = PipelineBuilder("t")
+        b.buffer("data", 8192)
+        name = b.mirror("data")
+        pipeline = b.build()
+        assert name == "data_dev"
+        mirror = pipeline.buffers["data_dev"]
+        assert mirror.mirror_of == "data"
+        assert mirror.size_bytes == 8192
+
+    def test_mirror_of_unknown_buffer_rejected(self):
+        with pytest.raises(PipelineError, match="unknown"):
+            PipelineBuilder("t").mirror("ghost")
+
+
+class TestChaining:
+    def test_stages_chain_serially_by_default(self):
+        b = PipelineBuilder("t")
+        b.buffer("data", 4096)
+        b.copy_h2d("data")
+        b.gpu_kernel("k", flops=1.0, reads=["data_dev"])
+        b.cpu_stage("c", flops=1.0)
+        pipeline = b.build()
+        kernel = pipeline.stage("k")
+        cpu = pipeline.stage("c")
+        assert kernel.depends_on == ("h2d_data_1",)
+        assert cpu.depends_on == ("k",)
+
+    def test_explicit_after_overrides_chain(self):
+        b = PipelineBuilder("t")
+        b.buffer("data", 4096)
+        first = b.cpu_stage("first", flops=1.0)
+        b.cpu_stage("second", flops=1.0)
+        b.cpu_stage("third", flops=1.0, after=[first])
+        assert b.build().stage("third").depends_on == ("first",)
+
+    def test_after_unknown_stage_rejected(self):
+        b = PipelineBuilder("t")
+        with pytest.raises(PipelineError, match="unknown dependency"):
+            b.cpu_stage("s", flops=1.0, after=["ghost"])
+
+    def test_first_stage_has_no_deps(self):
+        b = PipelineBuilder("t")
+        b.cpu_stage("s", flops=1.0)
+        assert b.build().stage("s").depends_on == ()
+
+
+class TestCopies:
+    def test_copy_h2d_auto_creates_mirror(self):
+        b = PipelineBuilder("t")
+        b.buffer("data", 4096)
+        b.copy_h2d("data")
+        pipeline = b.build()
+        assert "data_dev" in pipeline.buffers
+        copy = pipeline.copy_stages[0]
+        assert copy.src == "data" and copy.dst == "data_dev"
+        assert copy.mirror_copy
+
+    def test_copy_h2d_reuses_existing_mirror(self):
+        b = PipelineBuilder("t")
+        b.buffer("data", 4096)
+        b.mirror("data")
+        b.copy_h2d("data")
+        assert len(b.build().buffers) == 2
+
+    def test_copy_d2h(self):
+        b = PipelineBuilder("t")
+        b.buffer("out", 4096)
+        b.mirror("out")
+        b.copy_d2h("out_dev", "out", name="d2h")
+        copy = b.build().stage("d2h")
+        assert copy.kind is StageKind.COPY
+        assert copy.src == "out_dev" and copy.dst == "out"
+
+    def test_duplicate_stage_name_rejected(self):
+        b = PipelineBuilder("t")
+        b.buffer("data", 4096)
+        b.cpu_stage("s", flops=1.0)
+        with pytest.raises(PipelineError, match="duplicate"):
+            b.cpu_stage("s", flops=1.0)
+
+
+class TestBarrier:
+    def test_barrier_depends_on_everything_so_far(self):
+        b = PipelineBuilder("t")
+        b.cpu_stage("x", flops=1.0)
+        b.cpu_stage("y", flops=1.0, after=[])
+        b.barrier()
+        pipeline = b.build()
+        barrier = [s for s in pipeline.stages if s.name.startswith("barrier")][0]
+        assert set(barrier.depends_on) == {"x", "y"}
+
+    def test_barrier_on_empty_builder_is_noop(self):
+        b = PipelineBuilder("t")
+        b.barrier()
+        assert len(b.build().stages) == 0
+
+
+class TestMetadata:
+    def test_metadata_preserved(self):
+        b = PipelineBuilder("t", metadata={"outputs": ("x",)})
+        b.buffer("x", 4096)
+        assert b.build().metadata["outputs"] == ("x",)

@@ -1,0 +1,115 @@
+"""Tests for repro.pipeline.dynpar (dynamic parallelism)."""
+
+import pytest
+from dataclasses import replace
+
+from repro.config.system import heterogeneous_processor
+from repro.pipeline.dynpar import (
+    count_device_launched,
+    dynamic_parallelism,
+)
+from repro.pipeline.stage import Stage, StageKind
+from repro.pipeline.transforms import remove_copies
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.hierarchy import Component
+from repro.units import MB
+from repro.workloads.registry import get
+
+from tests.conftest import TINY_SCALE
+
+
+@pytest.fixture(scope="module")
+def graph_limited():
+    return remove_copies(get("lonestar/bfs").pipeline())
+
+
+class TestTransform:
+    def test_control_stages_removed(self, graph_limited):
+        transformed = dynamic_parallelism(graph_limited)
+        names = {s.name for s in transformed.stages}
+        assert not any(n.startswith("check_") for n in names)
+        assert not any(n.startswith("d2h_flag") for n in names)
+
+    def test_kernels_become_device_launched(self, graph_limited):
+        transformed = dynamic_parallelism(graph_limited)
+        kernels = transformed.stages_of_kind(StageKind.GPU_KERNEL)
+        # Every kernel except the loop entry launches from the device.
+        assert count_device_launched(transformed) == len(kernels) - 1
+
+    def test_kernel_chain_rewired(self, graph_limited):
+        transformed = dynamic_parallelism(graph_limited)
+        second = transformed.stage("traverse_1")
+        assert second.depends_on == ("traverse_0",)
+
+    def test_flag_buffer_kept_for_device_side_loop_decision(self, graph_limited):
+        # The kernels still write the convergence flag (the GPU now reads
+        # it for its own loop decision), so the buffer must survive.
+        transformed = dynamic_parallelism(graph_limited)
+        assert "flag" in transformed.buffers
+
+    def test_unreferenced_buffers_dropped(self):
+        # Build a loop whose flag is only touched by the control stages.
+        from repro.pipeline.builder import PipelineBuilder
+        from repro.pipeline.stage import BufferAccess
+
+        b = PipelineBuilder("t")
+        b.buffer("data", 8 * MB)
+        b.buffer("flag", 4096)
+        b.gpu_kernel("k0", flops=1e7, reads=[BufferAccess("data")])
+        b.cpu_stage("check_0", flops=10.0,
+                    reads=[BufferAccess("flag")])
+        b.gpu_kernel("k1", flops=1e7, reads=[BufferAccess("data")])
+        pipeline = b.build().with_stages(b.build().stages, limited_copy=True)
+        transformed = dynamic_parallelism(pipeline)
+        assert "flag" not in transformed.buffers
+
+    def test_pipeline_without_control_stages_unchanged(self):
+        limited = remove_copies(get("parboil/sgemm").pipeline())
+        assert dynamic_parallelism(limited) is limited
+
+    def test_still_validates(self, graph_limited):
+        transformed = dynamic_parallelism(graph_limited)
+        assert transformed.topological_order()
+
+    def test_device_launch_flag_only_on_gpu(self):
+        with pytest.raises(ValueError, match="device-launched"):
+            Stage(name="c", kind=StageKind.CPU, device_launched=True)
+
+
+class TestEngineBehaviour:
+    def test_no_cpu_launch_slivers_for_device_kernels(self, graph_limited):
+        transformed = dynamic_parallelism(graph_limited)
+        options = SimOptions(scale=TINY_SCALE)
+        system = heterogeneous_processor()
+        host = simulate(graph_limited, system, options)
+        device = simulate(transformed, system, options)
+        assert len(device.launch_intervals) < len(host.launch_intervals)
+
+    def test_cpu_no_longer_involved_in_loop(self, graph_limited):
+        transformed = dynamic_parallelism(graph_limited)
+        options = SimOptions(scale=TINY_SCALE)
+        system = heterogeneous_processor()
+        device = simulate(transformed, system, options)
+        host = simulate(graph_limited, system, options)
+        assert device.busy_time(Component.CPU) < host.busy_time(Component.CPU)
+
+    def test_expensive_device_launches_outweigh_benefits(self, graph_limited):
+        # The Wang & Yalamanchili finding: crank the device-launch latency
+        # and dynamic parallelism loses to the host loop.
+        transformed = dynamic_parallelism(graph_limited)
+        options = SimOptions(scale=TINY_SCALE)
+        base = heterogeneous_processor()
+        cheap = replace(base, device_launch_latency_s=1e-7)
+        expensive = replace(base, device_launch_latency_s=1e-3)
+        host = simulate(graph_limited, base, options)
+        fast = simulate(transformed, cheap, options)
+        slow = simulate(transformed, expensive, options)
+        assert fast.roi_s < host.roi_s
+        assert slow.roi_s > host.roi_s
+
+    def test_device_launch_latency_scales(self):
+        base = heterogeneous_processor()
+        scaled = base.scaled(1 / 4)
+        assert scaled.device_launch_latency_s == pytest.approx(
+            base.device_launch_latency_s / 4
+        )

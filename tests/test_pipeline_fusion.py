@@ -1,0 +1,142 @@
+"""Tests for repro.pipeline.fusion (kernel fusion, GPU->CPU migration)."""
+
+import pytest
+
+from repro.config.components import GpuConfig
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.fusion import fuse_kernels, migrate_kernels_to_cpu
+from repro.pipeline.graph import PipelineError
+from repro.pipeline.stage import BufferAccess, KernelResources, StageKind
+from repro.pipeline.transforms import remove_copies
+from repro.units import KB, MB
+
+
+def chain_pipeline(resources_a=None, resources_b=None, extra_reader=False):
+    """h2d -> kernel_a -> kernel_b -> d2h, with an intermediate buffer."""
+    b = PipelineBuilder("t", metadata={"outputs": ("out",)})
+    b.buffer("in", 4 * MB)
+    b.buffer("mid", 4 * MB, temporary=True)
+    b.buffer("out", 4 * MB)
+    b.copy_h2d("in", name="h2d")
+    b.mirror("out")
+    b.gpu_kernel("a", flops=100.0, reads=["in_dev"], writes=["mid"],
+                 resources=resources_a)
+    b.gpu_kernel("b", flops=50.0, reads=["mid"], writes=["out_dev"],
+                 resources=resources_b)
+    b.copy_d2h("out_dev", "out", name="d2h")
+    if extra_reader:
+        b.cpu_stage("peek", flops=1.0, reads=["mid"])
+    return b.build()
+
+
+class TestFuseKernels:
+    def test_fuses_producer_consumer_pair(self):
+        fused = fuse_kernels(chain_pipeline())
+        names = [s.name for s in fused.stages]
+        assert "a+b" in names
+        assert "a" not in names and "b" not in names
+
+    def test_flops_summed(self):
+        fused = fuse_kernels(chain_pipeline())
+        merged = fused.stage("a+b")
+        assert merged.flops == 150.0
+        assert merged.kind is StageKind.GPU_KERNEL
+
+    def test_intermediate_traffic_eliminated(self):
+        fused = fuse_kernels(chain_pipeline())
+        merged = fused.stage("a+b")
+        touched = set(merged.buffers)
+        assert "mid" not in touched  # passed in registers now
+        assert "in_dev" in touched and "out_dev" in touched
+
+    def test_downstream_reader_keeps_intermediate(self):
+        fused = fuse_kernels(chain_pipeline(extra_reader=True))
+        merged = fused.stage("a+b")
+        # 'peek' still reads mid, so the fused kernel must write it.
+        assert "mid" in {a.buffer for a in merged.writes}
+
+    def test_dependencies_rewired(self):
+        fused = fuse_kernels(chain_pipeline())
+        d2h = fused.stage("d2h")
+        assert d2h.depends_on == ("a+b",)
+        assert fused.topological_order()  # still a DAG
+
+    def test_chain_of_three_collapses(self):
+        b = PipelineBuilder("t", metadata={"outputs": ()})
+        b.buffer("x", 1 * MB)
+        b.buffer("y", 1 * MB, temporary=True)
+        b.buffer("z", 1 * MB, temporary=True)
+        b.buffer("w", 1 * MB)
+        b.gpu_kernel("k1", flops=1.0, reads=["x"], writes=["y"])
+        b.gpu_kernel("k2", flops=1.0, reads=["y"], writes=["z"])
+        b.gpu_kernel("k3", flops=1.0, reads=["z"], writes=["w"])
+        fused = fuse_kernels(b.build())
+        assert len(fused.stages) == 1
+        assert fused.stages[0].flops == 3.0
+
+    def test_resource_limits_block_fusion(self):
+        heavy = KernelResources(threads_per_cta=256, registers_per_thread=80)
+        pipeline = chain_pipeline(resources_a=heavy, resources_b=heavy)
+        # Combined register pressure (160/thread) exceeds the core.
+        fused = fuse_kernels(pipeline, gpu=GpuConfig())
+        assert {s.name for s in fused.stages} >= {"a", "b"}
+
+    def test_scratch_limit_blocks_fusion(self):
+        half = KernelResources(
+            threads_per_cta=64, registers_per_thread=8,
+            scratch_bytes_per_cta=30 * KB,
+        )
+        fused = fuse_kernels(chain_pipeline(half, half))
+        assert "a+b" not in {s.name for s in fused.stages}
+
+    def test_non_adjacent_kernels_not_fused(self):
+        b = PipelineBuilder("t")
+        b.buffer("x", 1 * MB)
+        b.buffer("y", 1 * MB)
+        b.gpu_kernel("k1", flops=1.0, reads=["x"], writes=["y"])
+        b.cpu_stage("host", flops=1.0, reads=["y"])
+        b.gpu_kernel("k2", flops=1.0, reads=["y"], after=["host"])
+        fused = fuse_kernels(b.build())
+        assert len(fused.stages) == 3
+
+    def test_no_data_flow_no_fusion(self):
+        b = PipelineBuilder("t")
+        b.buffer("x", 1 * MB)
+        b.buffer("y", 1 * MB)
+        b.gpu_kernel("k1", flops=1.0, reads=["x"])
+        b.gpu_kernel("k2", flops=1.0, reads=["y"])  # chained but independent
+        fused = fuse_kernels(b.build())
+        assert len(fused.stages) == 2
+
+    def test_fusion_reduces_offchip_traffic(self, heterogeneous, tiny_options):
+        from repro.sim.engine import simulate
+
+        limited = remove_copies(chain_pipeline())
+        baseline = simulate(limited, heterogeneous, tiny_options)
+        fused = simulate(fuse_kernels(limited), heterogeneous, tiny_options)
+        assert fused.offchip_accesses() < baseline.offchip_accesses()
+
+
+class TestMigrateKernelsToCpu:
+    def test_small_kernels_move_to_cpu(self):
+        limited = remove_copies(chain_pipeline())
+        migrated = migrate_kernels_to_cpu(limited, max_flops=60.0)
+        assert migrated.stage("b").kind is StageKind.CPU
+        assert migrated.stage("a").kind is StageKind.GPU_KERNEL
+
+    def test_resources_dropped_on_migration(self):
+        limited = remove_copies(
+            chain_pipeline(resources_b=KernelResources())
+        )
+        migrated = migrate_kernels_to_cpu(limited, max_flops=60.0)
+        assert migrated.stage("b").resources is None
+
+    def test_requires_limited_copy(self):
+        with pytest.raises(PipelineError, match="remove_copies"):
+            migrate_kernels_to_cpu(chain_pipeline(), max_flops=60.0)
+
+    def test_threshold_zero_migrates_nothing(self):
+        limited = remove_copies(chain_pipeline())
+        migrated = migrate_kernels_to_cpu(limited, max_flops=0.0)
+        assert migrated.stage("a").kind is StageKind.GPU_KERNEL
+        assert migrated.stage("b").kind is StageKind.GPU_KERNEL

@@ -1,0 +1,133 @@
+"""Tests for repro.pipeline.graph (Pipeline validation and queries)."""
+
+import pytest
+
+from repro.pipeline.buffers import Buffer
+from repro.pipeline.graph import Pipeline, PipelineError
+from repro.pipeline.stage import BufferAccess, Stage, StageKind
+
+
+def make_pipeline(stages, buffers=None):
+    buffers = buffers or {
+        "a": Buffer("a", 4096),
+        "b": Buffer("b", 4096),
+    }
+    return Pipeline(name="t", buffers=buffers, stages=tuple(stages))
+
+
+def cpu(name, deps=(), reads=(), writes=(), flops=0.0):
+    return Stage(
+        name=name,
+        kind=StageKind.CPU,
+        flops=flops,
+        reads=tuple(BufferAccess(r) for r in reads),
+        writes=tuple(BufferAccess(w) for w in writes),
+        depends_on=tuple(deps),
+    )
+
+
+class TestValidation:
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(PipelineError, match="duplicate"):
+            make_pipeline([cpu("s"), cpu("s")])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(PipelineError, match="unknown"):
+            make_pipeline([cpu("s", deps=("ghost",))])
+
+    def test_unknown_buffer_rejected(self):
+        with pytest.raises(PipelineError, match="unknown buffer"):
+            make_pipeline([cpu("s", reads=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(PipelineError, match="cycle"):
+            make_pipeline([cpu("x", deps=("y",)), cpu("y", deps=("x",))])
+
+    def test_buffer_key_mismatch_rejected(self):
+        with pytest.raises(PipelineError, match="buffer key"):
+            Pipeline(name="t", buffers={"wrong": Buffer("a", 4096)}, stages=())
+
+    def test_mirror_of_unknown_buffer_rejected(self):
+        buffers = {"m": Buffer("m", 4096, space=__import__("repro.pipeline.buffers", fromlist=["MemorySpace"]).MemorySpace.GPU, mirror_of="ghost")}
+        with pytest.raises(PipelineError, match="mirrors unknown"):
+            Pipeline(name="t", buffers=buffers, stages=())
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self):
+        pipeline = make_pipeline(
+            [cpu("c", deps=("a", "b")), cpu("b", deps=("a",)), cpu("a")]
+        )
+        order = [s.name for s in pipeline.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_stable_for_independent_stages(self):
+        pipeline = make_pipeline([cpu("x"), cpu("y"), cpu("z")])
+        assert [s.name for s in pipeline.topological_order()] == ["x", "y", "z"]
+
+
+class TestQueries:
+    def test_stage_lookup(self):
+        pipeline = make_pipeline([cpu("s")])
+        assert pipeline.stage("s").name == "s"
+        with pytest.raises(KeyError):
+            pipeline.stage("ghost")
+
+    def test_total_flops_and_by_kind(self):
+        gpu = Stage(name="g", kind=StageKind.GPU_KERNEL, flops=100.0)
+        pipeline = make_pipeline([cpu("c", flops=10.0), gpu])
+        assert pipeline.total_flops == 110.0
+        by_kind = pipeline.flops_by_kind()
+        assert by_kind[StageKind.CPU] == 10.0
+        assert by_kind[StageKind.GPU_KERNEL] == 100.0
+
+    def test_footprint_sums_buffers(self):
+        pipeline = make_pipeline([cpu("s")])
+        assert pipeline.footprint_bytes == 8192
+
+    def test_producer_consumer_edges(self):
+        stages = [
+            cpu("produce", writes=("a",)),
+            cpu("consume", deps=("produce",), reads=("a",)),
+            cpu("other", deps=("consume",), reads=("b",)),
+        ]
+        pipeline = make_pipeline(stages)
+        edges = pipeline.producer_consumer_edges()
+        assert ("produce", "consume", "a") in edges
+        # 'other' reads 'b' which nothing wrote: no edge.
+        assert all(edge[1] != "other" for edge in edges)
+
+    def test_self_edge_excluded(self):
+        stages = [cpu("rw", reads=("a",), writes=("a",))]
+        # Reads happen "before" writes within a stage: no self edge.
+        assert make_pipeline(stages).producer_consumer_edges() == ()
+
+
+class TestScaled:
+    def test_scales_buffers_and_flops(self):
+        pipeline = make_pipeline([cpu("s", flops=1000.0)])
+        scaled = pipeline.scaled(0.5)
+        assert scaled.footprint_bytes == 4096
+        assert scaled.total_flops == 500.0
+
+    def test_identity_scale_returns_same_object(self):
+        pipeline = make_pipeline([cpu("s")])
+        assert pipeline.scaled(1.0) is pipeline
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            make_pipeline([cpu("s")]).scaled(0.0)
+
+
+class TestWithStages:
+    def test_replaces_stages_keeps_metadata(self):
+        pipeline = Pipeline(
+            name="t",
+            buffers={"a": Buffer("a", 4096)},
+            stages=(cpu("s", reads=("a",)),),
+            metadata={"outputs": ("a",)},
+        )
+        replaced = pipeline.with_stages([cpu("s2", reads=("a",))])
+        assert [s.name for s in replaced.stages] == ["s2"]
+        assert replaced.metadata["outputs"] == ("a",)
+        assert replaced.name == "t"

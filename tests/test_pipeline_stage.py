@@ -1,0 +1,171 @@
+"""Tests for repro.pipeline.stage and repro.pipeline.buffers."""
+
+import pytest
+
+from repro.pipeline.buffers import Buffer, MemorySpace
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import (
+    FULL_REGION,
+    BufferAccess,
+    Region,
+    Stage,
+    StageKind,
+    copy_stage,
+)
+
+
+class TestBuffer:
+    def test_basic(self):
+        buf = Buffer("data", 4096)
+        assert buf.space is MemorySpace.CPU
+        assert not buf.is_mirror
+
+    def test_mirror_must_be_gpu_space(self):
+        with pytest.raises(ValueError, match="GPU space"):
+            Buffer("data_dev", 4096, space=MemorySpace.CPU, mirror_of="data")
+
+    def test_mirror_cannot_self_reference(self):
+        with pytest.raises(ValueError, match="mirror itself"):
+            Buffer("x", 4096, space=MemorySpace.GPU, mirror_of="x")
+
+    def test_rejects_empty_name_and_bad_size(self):
+        with pytest.raises(ValueError):
+            Buffer("", 4096)
+        with pytest.raises(ValueError):
+            Buffer("x", 0)
+
+    def test_scaled_floors_at_one_granule(self):
+        buf = Buffer("x", 4096)
+        assert buf.scaled(1e-9).size_bytes == 128
+
+    def test_scaled_preserves_flags(self):
+        buf = Buffer("x", 1 << 20, temporary=True, cpu_line_aligned=False)
+        small = buf.scaled(0.5)
+        assert small.temporary and not small.cpu_line_aligned
+        assert small.size_bytes == 1 << 19
+
+
+class TestRegion:
+    def test_full_region(self):
+        assert FULL_REGION.span == 1.0
+
+    def test_subrange_partitions_exactly(self):
+        parts = [FULL_REGION.subrange(i, 4) for i in range(4)]
+        assert parts[0].start == 0.0
+        assert parts[-1].end == 1.0
+        for left, right in zip(parts, parts[1:]):
+            assert left.end == pytest.approx(right.start)
+
+    def test_subrange_of_subrange(self):
+        inner = Region(0.25, 0.75).subrange(1, 2)
+        assert inner.start == pytest.approx(0.5)
+        assert inner.end == pytest.approx(0.75)
+
+    def test_invalid_regions(self):
+        with pytest.raises(ValueError):
+            Region(0.5, 0.5)
+        with pytest.raises(ValueError):
+            Region(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            Region(0.0, 1.1)
+
+    def test_subrange_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            FULL_REGION.subrange(4, 4)
+        with pytest.raises(ValueError):
+            FULL_REGION.subrange(0, 0)
+
+
+class TestBufferAccess:
+    def test_defaults(self):
+        access = BufferAccess("data")
+        assert access.pattern is AccessPattern.STREAMING
+        assert access.fraction == 1.0
+        assert access.passes == 1.0
+
+    def test_chunk_splits_region(self):
+        access = BufferAccess("data")
+        chunk = access.chunk(1, 4)
+        assert chunk.region.start == pytest.approx(0.25)
+        assert chunk.region.end == pytest.approx(0.5)
+
+    def test_broadcast_access_not_split(self):
+        access = BufferAccess("centres", broadcast=True)
+        assert access.chunk(1, 4) is access
+
+    def test_single_chunk_is_identity(self):
+        access = BufferAccess("data")
+        assert access.chunk(0, 1) is access
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferAccess("x", fraction=0.0)
+        with pytest.raises(ValueError):
+            BufferAccess("x", fraction=1.5)
+        with pytest.raises(ValueError):
+            BufferAccess("x", passes=0.0)
+
+
+class TestStage:
+    def test_gpu_kernel(self):
+        stage = Stage(
+            name="k",
+            kind=StageKind.GPU_KERNEL,
+            flops=1e9,
+            reads=(BufferAccess("a"),),
+            writes=(BufferAccess("b"),),
+        )
+        assert stage.buffers == ("a", "b")
+        assert stage.logical_name == "k"
+
+    def test_buffers_deduplicated_in_order(self):
+        stage = Stage(
+            name="k",
+            kind=StageKind.GPU_KERNEL,
+            reads=(BufferAccess("a"), BufferAccess("b")),
+            writes=(BufferAccess("a"),),
+        )
+        assert stage.buffers == ("a", "b")
+
+    def test_logical_name_follows_parent(self):
+        stage = Stage(name="k_c3", kind=StageKind.CPU, parent="k")
+        assert stage.logical_name == "k"
+
+    def test_copy_requires_src_dst(self):
+        with pytest.raises(ValueError, match="src and dst"):
+            Stage(name="c", kind=StageKind.COPY)
+
+    def test_copy_cannot_have_flops(self):
+        with pytest.raises(ValueError, match="FLOPs"):
+            Stage(name="c", kind=StageKind.COPY, flops=1.0, src="a", dst="b")
+
+    def test_non_copy_cannot_be_mirror_copy(self):
+        with pytest.raises(ValueError, match="mirror"):
+            Stage(name="k", kind=StageKind.CPU, mirror_copy=True)
+
+    def test_non_copy_cannot_have_src_dst(self):
+        with pytest.raises(ValueError, match="src/dst"):
+            Stage(name="k", kind=StageKind.CPU, src="a")
+
+    def test_efficiency_and_occupancy_bounds(self):
+        with pytest.raises(ValueError):
+            Stage(name="k", kind=StageKind.CPU, compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            Stage(name="k", kind=StageKind.CPU, occupancy=1.5)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(name="k", kind=StageKind.CPU, flops=-1.0)
+
+
+class TestCopyStageHelper:
+    def test_copy_stage_reads_src_writes_dst(self):
+        stage = copy_stage("c", "host", "dev")
+        assert stage.kind is StageKind.COPY
+        assert stage.reads[0].buffer == "host"
+        assert stage.writes[0].buffer == "dev"
+        assert stage.mirror_copy
+
+    def test_non_mirror_copy(self):
+        stage = copy_stage("c", "a", "b", mirror=False)
+        assert not stage.mirror_copy

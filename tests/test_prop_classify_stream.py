@@ -1,0 +1,142 @@
+"""Property-based tests for access classification and stream utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classify import AccessClass, classify_log, _CODE
+from repro.core.overlap import ComponentTimes, component_overlap_runtime
+from repro.trace.stream import AccessStream, interleave
+
+REQUIRED = _CODE[AccessClass.REQUIRED]
+
+
+@st.composite
+def logs(draw):
+    n = draw(st.integers(1, 300))
+    blocks = draw(
+        st.lists(st.integers(0, 40), min_size=n, max_size=n)
+    )
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    # Logical stages are non-decreasing in program order.
+    increments = draw(st.lists(st.integers(0, 2), min_size=n, max_size=n))
+    stages = np.cumsum(increments).astype(np.int32)
+    return (
+        np.asarray(blocks, dtype=np.int64),
+        np.asarray(writes, dtype=bool),
+        stages,
+    )
+
+
+@given(log=logs())
+@settings(max_examples=80, deadline=None)
+def test_every_access_labelled(log):
+    blocks, writes, stages = log
+    labels = classify_log(blocks, writes, stages)
+    assert len(labels) == len(blocks)
+
+
+@given(log=logs())
+@settings(max_examples=80, deadline=None)
+def test_first_touch_of_each_block_is_required_unless_spilled_forward(log):
+    blocks, writes, stages = log
+    labels = classify_log(blocks, writes, stages)
+    seen = set()
+    for i, block in enumerate(blocks):
+        if block in seen:
+            continue
+        seen.add(block)
+        if not writes[i]:
+            # First read of a block is always compulsory.
+            assert labels[i] == REQUIRED
+
+
+@given(log=logs())
+@settings(max_examples=80, deadline=None)
+def test_single_access_blocks_are_required(log):
+    blocks, writes, stages = log
+    labels = classify_log(blocks, writes, stages)
+    unique, counts = np.unique(blocks, return_counts=True)
+    singles = set(unique[counts == 1].tolist())
+    for i, block in enumerate(blocks):
+        if int(block) in singles:
+            assert labels[i] == REQUIRED
+
+
+@given(log=logs())
+@settings(max_examples=40, deadline=None)
+def test_classification_deterministic(log):
+    blocks, writes, stages = log
+    l1 = classify_log(blocks, writes, stages)
+    l2 = classify_log(blocks, writes, stages)
+    assert np.array_equal(l1, l2)
+
+
+# --- stream interleaving properties -----------------------------------------
+
+streams_strategy = st.lists(
+    st.lists(st.integers(0, 1000), min_size=1, max_size=100),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(parts=streams_strategy)
+@settings(max_examples=60, deadline=None)
+def test_interleave_preserves_multiset(parts):
+    streams = [AccessStream.of(p) for p in parts]
+    merged = interleave(streams)
+    assert sorted(merged.blocks.tolist()) == sorted(
+        b for p in parts for b in p
+    )
+
+
+@given(parts=streams_strategy)
+@settings(max_examples=60, deadline=None)
+def test_interleave_preserves_relative_order_of_first_stream(parts):
+    streams = [
+        AccessStream(
+            np.asarray(p, dtype=np.int64),
+            np.full(len(p), i == 0, dtype=bool),
+        )
+        for i, p in enumerate(parts)
+    ]
+    merged = interleave(streams)
+    first = merged.blocks[merged.is_write]
+    assert list(first) == parts[0]
+
+
+# --- Eq. 1 properties -------------------------------------------------------
+
+nonneg = st.floats(0.0, 1e3, allow_nan=False)
+
+
+@given(cpu=nonneg, copy=nonneg, gpu=nonneg, serial_frac=st.floats(0.0, 1.0))
+@settings(max_examples=100, deadline=None)
+def test_overlap_estimate_bounds(cpu, copy, gpu, serial_frac):
+    cserial = cpu * serial_frac
+    times = ComponentTimes(
+        cpu_s=cpu, copy_s=copy, gpu_s=gpu, cserial_s=cserial,
+        roi_s=cpu + copy + gpu,
+    )
+    estimate = component_overlap_runtime(times)
+    # Rco is at least every single component's time...
+    assert estimate.runtime_s >= cpu - 1e-9
+    assert estimate.runtime_s >= copy - 1e-9
+    assert estimate.runtime_s >= gpu - 1e-9
+    # ...and never worse than full serialization.
+    assert estimate.runtime_s <= cpu + copy + gpu + 1e-9
+
+
+@given(cpu=nonneg, copy=nonneg, gpu=nonneg)
+@settings(max_examples=100, deadline=None)
+def test_more_serial_time_never_helps(cpu, copy, gpu):
+    low = ComponentTimes(cpu_s=cpu, copy_s=copy, gpu_s=gpu, cserial_s=0.0,
+                         roi_s=cpu + copy + gpu)
+    high = ComponentTimes(cpu_s=cpu, copy_s=copy, gpu_s=gpu, cserial_s=cpu,
+                          roi_s=cpu + copy + gpu)
+    assert (
+        component_overlap_runtime(high).runtime_s
+        >= component_overlap_runtime(low).runtime_s - 1e-9
+    )

@@ -1,0 +1,100 @@
+"""Property-based tests for pipeline structures and transforms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess, Region
+from repro.pipeline.transforms import chunk_stages, remove_copies
+from repro.units import KB
+
+
+def build_chain(num_iterations: int, chunkable: bool):
+    b = PipelineBuilder("prop")
+    b.buffer("data", 256 * KB)
+    b.buffer("out", 64 * KB)
+    b.copy_h2d("data", chunkable=chunkable)
+    b.mirror("out")
+    for i in range(num_iterations):
+        b.gpu_kernel(
+            f"k{i}",
+            flops=100.0,
+            reads=[BufferAccess("data_dev")],
+            writes=[BufferAccess("out_dev")],
+            chunkable=chunkable,
+        )
+    b.copy_d2h("out_dev", "out", name="d2h", chunkable=chunkable)
+    return b.build()
+
+
+@given(iterations=st.integers(1, 5), chunks=st.integers(1, 12))
+@settings(max_examples=40, deadline=None)
+def test_chunking_preserves_total_flops(iterations, chunks):
+    pipeline = build_chain(iterations, chunkable=True)
+    chunked = chunk_stages(pipeline, chunks)
+    assert chunked.total_flops == pytest.approx(pipeline.total_flops)
+
+
+@given(iterations=st.integers(1, 4), chunks=st.integers(2, 12))
+@settings(max_examples=40, deadline=None)
+def test_chunk_regions_tile_the_buffer(iterations, chunks):
+    pipeline = build_chain(iterations, chunkable=True)
+    chunked = chunk_stages(pipeline, chunks)
+    pieces = [
+        s.reads[0].region
+        for s in chunked.stages
+        if s.logical_name == "k0" and s.reads
+    ]
+    pieces.sort(key=lambda r: r.start)
+    assert pieces[0].start == 0.0
+    assert pieces[-1].end == 1.0
+    for left, right in zip(pieces, pieces[1:]):
+        assert left.end == pytest.approx(right.start)
+
+
+@given(iterations=st.integers(1, 5), chunks=st.integers(1, 12))
+@settings(max_examples=40, deadline=None)
+def test_chunked_pipeline_still_validates(iterations, chunks):
+    pipeline = build_chain(iterations, chunkable=True)
+    chunked = chunk_stages(pipeline, chunks)
+    order = chunked.topological_order()  # raises on cycles
+    assert len(order) == len(chunked.stages)
+
+
+@given(iterations=st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_remove_copies_preserves_compute_stages(iterations):
+    pipeline = build_chain(iterations, chunkable=False)
+    limited = remove_copies(pipeline)
+    original_kernels = {s.name for s in pipeline.stages if s.flops}
+    limited_kernels = {s.name for s in limited.stages if s.flops}
+    assert original_kernels == limited_kernels
+
+
+@given(iterations=st.integers(1, 5), chunks=st.integers(2, 8))
+@settings(max_examples=30, deadline=None)
+def test_transform_order_commutes_on_stage_counts(iterations, chunks):
+    pipeline = build_chain(iterations, chunkable=True)
+    a = chunk_stages(remove_copies(pipeline), chunks)
+    b = remove_copies(chunk_stages(pipeline, chunks))
+    assert len(a.stages) == len(b.stages)
+    assert {s.logical_name for s in a.stages} == {s.logical_name for s in b.stages}
+
+
+@given(
+    start=st.floats(0.0, 0.98),
+    width=st.floats(0.01, 1.0),
+    count=st.integers(1, 16),
+)
+@settings(max_examples=60, deadline=None)
+def test_region_subranges_partition(start, width, count):
+    end = min(1.0, start + max(width, 0.01))
+    if end <= start:
+        end = min(1.0, start + 0.01)
+    region = Region(start, end)
+    parts = [region.subrange(i, count) for i in range(count)]
+    assert parts[0].start == pytest.approx(region.start)
+    assert parts[-1].end == pytest.approx(region.end)
+    total = sum(p.span for p in parts)
+    assert total == pytest.approx(region.span)

@@ -1,0 +1,121 @@
+"""Property-based tests for serialization and the declarative loader."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import discrete_gpu_system
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.serialize import result_to_dict, result_to_json, summary_from_json
+from repro.workloads.loader import parse_size, pipeline_from_dict
+
+from tests.conftest import TINY_SCALE
+
+# --- parse_size properties ---------------------------------------------------
+
+
+@given(
+    value=st.floats(0.001, 1000.0),
+    suffix=st.sampled_from(["B", "KB", "MB", "GB"]),
+)
+@settings(max_examples=100, deadline=None)
+def test_parse_size_matches_arithmetic(value, suffix):
+    factor = {"B": 1, "KB": 1024, "MB": 1024**2, "GB": 1024**3}[suffix]
+    expected = int(value * factor)
+    if expected <= 0:
+        return
+    assert parse_size(f"{value}{suffix}") == expected
+
+
+@given(size=st.integers(1, 10**12))
+@settings(max_examples=100, deadline=None)
+def test_parse_size_identity_on_integers(size):
+    assert parse_size(size) == size
+
+
+# --- declarative loader round trips ----------------------------------------------
+
+
+@st.composite
+def workload_specs(draw):
+    num_buffers = draw(st.integers(1, 4))
+    buffers = [
+        {
+            "name": f"buf{i}",
+            "size": draw(st.integers(128 * 1024, 4 * 1024 * 1024)),
+        }
+        for i in range(num_buffers)
+    ]
+    stages = []
+    for k in range(draw(st.integers(1, 5))):
+        target = draw(st.integers(0, num_buffers - 1))
+        stages.append(
+            {
+                "op": draw(st.sampled_from(["gpu", "cpu"])),
+                "name": f"s{k}",
+                "flops": draw(st.floats(1.0, 1e8)),
+                "reads": [
+                    {
+                        "buffer": f"buf{target}",
+                        "pattern": draw(
+                            st.sampled_from(
+                                ["streaming", "random", "graph", "stencil"]
+                            )
+                        ),
+                        "passes": draw(st.floats(0.5, 4.0)),
+                    }
+                ],
+            }
+        )
+    return {"name": "prop/app", "buffers": buffers, "stages": stages}
+
+
+@given(spec=workload_specs())
+@settings(max_examples=40, deadline=None)
+def test_loaded_pipelines_always_validate(spec):
+    pipeline = pipeline_from_dict(spec)
+    assert len(pipeline.stages) == len(spec["stages"])
+    assert pipeline.topological_order()
+
+
+@given(spec=workload_specs())
+@settings(max_examples=15, deadline=None)
+def test_loaded_pipelines_always_simulate(spec):
+    pipeline = pipeline_from_dict(spec)
+    result = simulate(
+        pipeline, discrete_gpu_system(), SimOptions(scale=TINY_SCALE)
+    )
+    assert result.roi_s >= 0.0
+    assert len(result.stages) == len(pipeline.stages)
+
+
+@given(spec=workload_specs())
+@settings(max_examples=15, deadline=None)
+def test_serialized_results_are_valid_json_and_consistent(spec):
+    pipeline = pipeline_from_dict(spec)
+    result = simulate(
+        pipeline, discrete_gpu_system(), SimOptions(scale=TINY_SCALE)
+    )
+    payload = summary_from_json(result_to_json(result))
+    assert payload["roi_s"] == pytest.approx(result.roi_s)
+    assert len(payload["stages"]) == len(result.stages)
+    # Busy times in the payload match the result's accounting.
+    for component, busy in payload["busy_s"].items():
+        assert busy >= 0.0
+    # Per-stage intervals are consistent with the ROI.
+    for stage in payload["stages"]:
+        assert stage["end_s"] <= payload["roi_s"] + 1e-12
+
+
+@given(spec=workload_specs())
+@settings(max_examples=10, deadline=None)
+def test_include_log_round_trips_counts(spec):
+    pipeline = pipeline_from_dict(spec)
+    result = simulate(
+        pipeline, discrete_gpu_system(), SimOptions(scale=TINY_SCALE)
+    )
+    payload = json.loads(result_to_json(result, include_log=True))
+    assert len(payload["log"]["blocks"]) == result.offchip_accesses()
+    assert len(payload["log"]["is_write"]) == result.offchip_accesses()

@@ -1,0 +1,120 @@
+"""Property-based tests for the extension transforms (fusion, dynpar)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.components import GpuConfig
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.dynpar import dynamic_parallelism
+from repro.pipeline.fusion import fuse_kernels, migrate_kernels_to_cpu
+from repro.pipeline.stage import StageKind
+from repro.pipeline.transforms import remove_copies
+from repro.units import KB, MB
+
+
+def kernel_chain(lengths):
+    """A linear chain of GPU kernels threaded through temporaries."""
+    b = PipelineBuilder("prop", metadata={"outputs": ("buf_out",)})
+    b.buffer("buf_in", 1 * MB)
+    b.buffer("buf_out", 1 * MB)
+    previous = "buf_in"
+    for i, flops in enumerate(lengths):
+        is_last = i == len(lengths) - 1
+        target = "buf_out" if is_last else f"tmp{i}"
+        if not is_last:
+            b.buffer(target, 1 * MB, temporary=True)
+        b.gpu_kernel(
+            f"k{i}", flops=float(flops), reads=[previous], writes=[target]
+        )
+        previous = target
+    return b.build()
+
+
+@given(lengths=st.lists(st.integers(1, 1000), min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_fusion_conserves_flops(lengths):
+    pipeline = kernel_chain(lengths)
+    fused = fuse_kernels(pipeline)
+    assert fused.total_flops == pytest.approx(pipeline.total_flops)
+
+
+@given(lengths=st.lists(st.integers(1, 1000), min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_fusion_collapses_unconstrained_chain_fully(lengths):
+    pipeline = kernel_chain(lengths)
+    fused = fuse_kernels(pipeline)
+    # No resources declared: the whole chain fuses into one kernel.
+    assert len(fused.stages) == 1
+    assert fused.topological_order()
+
+
+@given(lengths=st.lists(st.integers(1, 1000), min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_fusion_keeps_output_buffer(lengths):
+    pipeline = kernel_chain(lengths)
+    fused = fuse_kernels(pipeline)
+    merged = fused.stages[0]
+    assert "buf_out" in {a.buffer for a in merged.writes}
+
+
+@given(
+    lengths=st.lists(st.integers(1, 1000), min_size=2, max_size=8),
+    threshold=st.integers(0, 1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_cpu_migration_threshold_respected(lengths, threshold):
+    pipeline = kernel_chain(lengths)
+    limited = pipeline.with_stages(pipeline.stages, limited_copy=True)
+    migrated = migrate_kernels_to_cpu(limited, max_flops=float(threshold))
+    for original, moved in zip(limited.stages, migrated.stages):
+        if original.flops <= threshold:
+            assert moved.kind is StageKind.CPU
+        else:
+            assert moved.kind is StageKind.GPU_KERNEL
+
+
+def looped_pipeline(iterations):
+    b = PipelineBuilder("prop")
+    b.buffer("data", 1 * MB)
+    b.buffer("flag", 4 * KB)
+    for i in range(iterations):
+        b.gpu_kernel(f"k{i}", flops=1e6, reads=["data"], writes=["flag"])
+        b.cpu_stage(f"check{i}", flops=1.0, reads=["flag"])
+    pipeline = b.build()
+    return pipeline.with_stages(pipeline.stages, limited_copy=True)
+
+
+@given(iterations=st.integers(1, 10))
+@settings(max_examples=30, deadline=None)
+def test_dynpar_preserves_kernels(iterations):
+    pipeline = looped_pipeline(iterations)
+    transformed = dynamic_parallelism(pipeline)
+    kernels_before = {
+        s.name for s in pipeline.stages if s.kind is StageKind.GPU_KERNEL
+    }
+    kernels_after = {
+        s.name for s in transformed.stages if s.kind is StageKind.GPU_KERNEL
+    }
+    assert kernels_before == kernels_after
+
+
+@given(iterations=st.integers(1, 10))
+@settings(max_examples=30, deadline=None)
+def test_dynpar_removes_all_checks_and_stays_acyclic(iterations):
+    pipeline = looped_pipeline(iterations)
+    transformed = dynamic_parallelism(pipeline)
+    assert all(s.kind is StageKind.GPU_KERNEL for s in transformed.stages)
+    assert transformed.topological_order()
+    assert pipeline.total_flops == pytest.approx(
+        transformed.total_flops, rel=1e-6
+    )
+
+
+@given(iterations=st.integers(2, 10))
+@settings(max_examples=30, deadline=None)
+def test_dynpar_chain_order_preserved(iterations):
+    pipeline = looped_pipeline(iterations)
+    transformed = dynamic_parallelism(pipeline)
+    order = [s.name for s in transformed.topological_order()]
+    assert order == [f"k{i}" for i in range(iterations)]

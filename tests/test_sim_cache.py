@@ -1,0 +1,132 @@
+"""Tests for repro.sim.cache (set-associative LRU)."""
+
+import numpy as np
+import pytest
+
+from repro.config.components import CacheConfig
+from repro.sim.cache import SetAssocCache
+from repro.trace.stream import AccessStream
+
+
+def cache_of(lines: int, assoc: int = 2) -> SetAssocCache:
+    return SetAssocCache(
+        CacheConfig(lines * 128, line_bytes=128, associativity=assoc), name="t"
+    )
+
+
+def run(cache, blocks, writes=None):
+    blocks = np.asarray(blocks, dtype=np.int64)
+    if writes is None:
+        writes = np.zeros(len(blocks), dtype=bool)
+    else:
+        writes = np.asarray(writes, dtype=bool)
+    return cache.access_stream(AccessStream(blocks, writes))
+
+
+class TestHitsAndMisses:
+    def test_first_access_misses_second_hits(self):
+        cache = cache_of(8)
+        out = run(cache, [3, 3])
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert list(out.blocks) == [3]
+
+    def test_downstream_contains_one_read_per_miss(self):
+        cache = cache_of(8)
+        out = run(cache, [0, 1, 2, 0, 1])
+        assert list(out.blocks) == [0, 1, 2]
+        assert not out.is_write.any()
+
+    def test_capacity_eviction(self):
+        # Fully-associative single set of 2 lines.
+        cache = cache_of(2, assoc=2)
+        run(cache, [0, 2, 4])  # same set (num_sets == 1)
+        assert 0 not in cache
+        assert 2 in cache and 4 in cache
+
+    def test_lru_order_respected(self):
+        cache = cache_of(2, assoc=2)
+        run(cache, [0, 2, 0, 4])  # touching 0 makes 2 the LRU victim
+        assert 0 in cache and 4 in cache
+        assert 2 not in cache
+
+    def test_sets_isolate_conflicts(self):
+        cache = cache_of(4, assoc=2)  # 2 sets
+        # Blocks 0,2,4 map to set 0; block 1 maps to set 1.
+        run(cache, [0, 2, 4, 1])
+        assert 1 in cache
+        assert 0 not in cache  # evicted from set 0
+
+
+class TestWriteback:
+    def test_dirty_eviction_produces_writeback(self):
+        cache = cache_of(2, assoc=2)
+        out = run(cache, [0, 2, 4], writes=[True, False, False])
+        writebacks = out.blocks[out.is_write]
+        assert list(writebacks) == [0]
+
+    def test_clean_eviction_silent(self):
+        cache = cache_of(2, assoc=2)
+        out = run(cache, [0, 2, 4])
+        assert not out.is_write.any()
+
+    def test_write_hit_marks_dirty(self):
+        cache = cache_of(2, assoc=2)
+        run(cache, [0])
+        out = run(cache, [0, 2, 4], writes=[True, False, False])
+        assert 0 in out.blocks[out.is_write]
+
+    def test_refetched_block_is_clean_again(self):
+        cache = cache_of(2, assoc=2)
+        run(cache, [0], writes=[True])
+        run(cache, [2, 4])  # evicts dirty 0 (writeback), then fills 2,4
+        out = run(cache, [0, 2, 4])  # refetch 0 clean; evictions silent
+        assert not out.is_write.any()
+
+
+class TestMaintenance:
+    def test_invalidate_drops_without_writeback(self):
+        cache = cache_of(4)
+        run(cache, [0, 1], writes=[True, True])
+        dropped = cache.invalidate([0, 1, 99])
+        assert dropped == 2
+        assert 0 not in cache and 1 not in cache
+
+    def test_flush_writes_back_dirty_only(self):
+        cache = cache_of(4, assoc=4)
+        run(cache, [0, 1, 2], writes=[True, False, True])
+        written = cache.flush([0, 1, 2, 99])
+        assert sorted(written) == [0, 2]
+        assert cache.occupancy == 0
+
+    def test_extract_removes_silently(self):
+        cache = cache_of(4)
+        run(cache, [5], writes=[True])
+        assert cache.extract(5)
+        assert 5 not in cache
+        assert not cache.extract(5)
+
+    def test_drain_returns_all_dirty(self):
+        cache = cache_of(8, assoc=8)
+        run(cache, [0, 1, 2, 3], writes=[True, True, False, False])
+        written = cache.drain()
+        assert sorted(written) == [0, 1]
+        assert cache.occupancy == 0
+
+    def test_stats_accumulate(self):
+        cache = cache_of(8)
+        run(cache, [0, 0, 1])
+        assert cache.stats.accesses == 3
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_empty_stream(self):
+        cache = cache_of(8)
+        out = cache.access_stream(AccessStream.empty())
+        assert len(out) == 0
+        assert cache.stats.accesses == 0
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = cache_of(16, assoc=4)
+        run(cache, list(range(1000)))
+        assert cache.occupancy <= 16

@@ -1,0 +1,170 @@
+"""Tests for the MESI coherence reference model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.coherence import BusOp, MesiDirectory, MesiState
+
+
+class TestBasicProtocol:
+    def test_cold_read_is_exclusive(self):
+        directory = MesiDirectory(2)
+        op = directory.read(0, 100)
+        assert op is BusOp.READ_MISS_MEMORY
+        assert directory.state(0, 100) is MesiState.EXCLUSIVE
+
+    def test_read_hit_is_silent(self):
+        directory = MesiDirectory(2)
+        directory.read(0, 100)
+        assert directory.read(0, 100) is None
+
+    def test_second_reader_shares(self):
+        directory = MesiDirectory(2)
+        directory.read(0, 100)
+        op = directory.read(1, 100)
+        assert op is BusOp.READ_MISS_CACHE
+        assert directory.state(0, 100) is MesiState.SHARED
+        assert directory.state(1, 100) is MesiState.SHARED
+
+    def test_cold_write_is_modified(self):
+        directory = MesiDirectory(2)
+        op = directory.write(0, 100)
+        assert op is BusOp.WRITE_MISS_MEMORY
+        assert directory.state(0, 100) is MesiState.MODIFIED
+
+    def test_exclusive_to_modified_is_silent(self):
+        directory = MesiDirectory(2)
+        directory.read(0, 100)
+        assert directory.write(0, 100) is None
+        assert directory.state(0, 100) is MesiState.MODIFIED
+
+    def test_shared_write_upgrades_and_invalidates(self):
+        directory = MesiDirectory(3)
+        directory.read(0, 100)
+        directory.read(1, 100)
+        directory.read(2, 100)
+        op = directory.write(1, 100)
+        assert op is BusOp.UPGRADE
+        assert directory.state(0, 100) is MesiState.INVALID
+        assert directory.state(2, 100) is MesiState.INVALID
+        assert directory.state(1, 100) is MesiState.MODIFIED
+
+    def test_write_miss_steals_from_owner(self):
+        directory = MesiDirectory(2)
+        directory.write(0, 100)
+        op = directory.write(1, 100)
+        assert op is BusOp.WRITE_MISS_CACHE
+        assert directory.state(0, 100) is MesiState.INVALID
+        assert directory.state(1, 100) is MesiState.MODIFIED
+
+    def test_reader_pulls_dirty_line_to_shared(self):
+        directory = MesiDirectory(2)
+        directory.write(0, 100)
+        op = directory.read(1, 100)
+        assert op is BusOp.READ_MISS_CACHE
+        assert directory.state(0, 100) is MesiState.SHARED
+        assert directory.state(1, 100) is MesiState.SHARED
+
+    def test_dirty_eviction_writes_back(self):
+        directory = MesiDirectory(2)
+        directory.write(0, 100)
+        assert directory.evict(0, 100) is BusOp.WRITEBACK
+        assert directory.state(0, 100) is MesiState.INVALID
+
+    def test_clean_eviction_silent(self):
+        directory = MesiDirectory(2)
+        directory.read(0, 100)
+        assert directory.evict(0, 100) is None
+
+    def test_modified_write_hit_silent(self):
+        directory = MesiDirectory(2)
+        directory.write(0, 100)
+        assert directory.write(0, 100) is None
+
+    def test_owner_and_holders(self):
+        directory = MesiDirectory(3)
+        directory.write(2, 7)
+        assert directory.owner(7) == 2
+        assert directory.holders(7) == (2,)
+        directory.read(0, 7)
+        assert directory.owner(7) is None
+        assert set(directory.holders(7)) == {0, 2}
+
+    def test_unknown_cache_rejected(self):
+        directory = MesiDirectory(2)
+        with pytest.raises(ValueError):
+            directory.read(5, 0)
+        with pytest.raises(ValueError):
+            MesiDirectory(0)
+
+
+class TestStats:
+    def test_memory_accesses_counted(self):
+        directory = MesiDirectory(2)
+        directory.read(0, 1)       # memory read
+        directory.write(1, 2)      # memory write miss
+        directory.write(1, 2)      # silent
+        directory.evict(1, 2)      # writeback
+        assert directory.stats.memory_accesses == 3
+
+    def test_cache_to_cache_counted(self):
+        directory = MesiDirectory(2)
+        directory.write(0, 1)
+        directory.read(1, 1)       # cache-to-cache
+        assert directory.stats.cache_to_cache_transfers == 1
+
+    def test_producer_consumer_avoids_memory(self):
+        # The paper's heterogeneous-processor benefit in protocol terms:
+        # GPU (cache 1) produces, CPU (cache 0) consumes, all on chip.
+        directory = MesiDirectory(2)
+        for line in range(100):
+            directory.write(1, line)
+        before = directory.stats.memory_accesses
+        for line in range(100):
+            directory.read(0, line)
+        assert directory.stats.memory_accesses == before
+        assert directory.stats.cache_to_cache_transfers == 100
+
+
+# --- property tests ----------------------------------------------------------
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "evict"]),
+        st.integers(0, 3),   # cache id
+        st.integers(0, 20),  # line
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=100, deadline=None)
+def test_invariants_hold_under_random_traffic(ops):
+    directory = MesiDirectory(4)
+    for op, cache, line in ops:
+        getattr(directory, op)(cache, line)
+        directory.check_invariants()
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_writer_always_ends_modified(ops):
+    directory = MesiDirectory(4)
+    for op, cache, line in ops:
+        getattr(directory, op)(cache, line)
+        if op == "write":
+            assert directory.state(cache, line) is MesiState.MODIFIED
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_no_action_on_line_leaves_it_invalid(ops):
+    directory = MesiDirectory(4)
+    untouched_line = 999
+    for op, cache, line in ops:
+        getattr(directory, op)(cache, line)
+    for cache in range(4):
+        assert directory.state(cache, untouched_line) is MesiState.INVALID

@@ -1,0 +1,139 @@
+"""Tests for repro.sim.occupancy (the CUDA-style occupancy calculator)."""
+
+import pytest
+
+from repro.config.components import GpuConfig
+from repro.pipeline.stage import KernelResources
+from repro.sim.occupancy import (
+    OccupancyLimiter,
+    compute_occupancy,
+    derive_stage_occupancy,
+)
+from repro.units import KB
+
+GPU = GpuConfig()  # Table I: 8 CTAs, 48 warps, 32k regs, 48kB scratch
+
+
+class TestLimiters:
+    def test_lean_kernel_limited_by_cta_slots(self):
+        # Tiny CTAs with tiny state: the 8-CTA hardware limit binds.
+        report = compute_occupancy(
+            GPU, KernelResources(threads_per_cta=64, registers_per_thread=8)
+        )
+        assert report.limiter is OccupancyLimiter.CTA_SLOTS
+        assert report.concurrent_ctas == 8
+        assert report.active_warps == 16  # 8 CTAs x 2 warps
+
+    def test_warp_slot_limit(self):
+        # 512-thread CTAs (16 warps each): 48 warp slots cap us at 3 CTAs.
+        report = compute_occupancy(
+            GPU, KernelResources(threads_per_cta=512, registers_per_thread=8)
+        )
+        assert report.limiter is OccupancyLimiter.WARP_SLOTS
+        assert report.concurrent_ctas == 3
+        assert report.active_warps == 48
+        assert report.occupancy == pytest.approx(1.0)
+
+    def test_register_limit(self):
+        # 256 threads x 40 regs = 10240 regs/CTA -> 3 CTAs in 32k regs.
+        report = compute_occupancy(
+            GPU, KernelResources(threads_per_cta=256, registers_per_thread=40)
+        )
+        assert report.limiter is OccupancyLimiter.REGISTERS
+        assert report.concurrent_ctas == 3
+        assert report.occupancy == pytest.approx(24 / 48)
+
+    def test_scratch_limit(self):
+        report = compute_occupancy(
+            GPU,
+            KernelResources(
+                threads_per_cta=64,
+                registers_per_thread=8,
+                scratch_bytes_per_cta=24 * KB,
+            ),
+        )
+        assert report.limiter is OccupancyLimiter.SCRATCH
+        assert report.concurrent_ctas == 2
+
+    def test_full_occupancy_config(self):
+        # 8 CTAs x 6 warps = 48 warps: perfectly fills the core.
+        report = compute_occupancy(
+            GPU, KernelResources(threads_per_cta=192, registers_per_thread=20)
+        )
+        assert report.occupancy == pytest.approx(1.0)
+
+    def test_active_warps_never_exceed_slots(self):
+        for threads in (32, 64, 128, 256, 512, 1024):
+            for regs in (8, 16, 32, 64):
+                report = compute_occupancy(
+                    GPU,
+                    KernelResources(
+                        threads_per_cta=threads, registers_per_thread=regs
+                    ),
+                )
+                assert 0 <= report.active_warps <= GPU.warps_per_core
+
+
+class TestDeriveStageOccupancy:
+    def test_declared_occupancy_is_a_ceiling(self):
+        lean = KernelResources(threads_per_cta=192, registers_per_thread=20)
+        assert derive_stage_occupancy(GPU, lean, declared_occupancy=0.3) == 0.3
+
+    def test_resources_bind_below_declaration(self):
+        fat = KernelResources(threads_per_cta=256, registers_per_thread=40)
+        derived = derive_stage_occupancy(GPU, fat, declared_occupancy=1.0)
+        assert derived == pytest.approx(0.5)
+
+    def test_oversized_kernel_rejected(self):
+        giant = KernelResources(
+            threads_per_cta=256,
+            registers_per_thread=24,
+            scratch_bytes_per_cta=64 * KB,  # exceeds 48kB scratch
+        )
+        with pytest.raises(ValueError, match="do not fit"):
+            derive_stage_occupancy(GPU, giant)
+
+
+class TestResourceValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            KernelResources(threads_per_cta=0)
+        with pytest.raises(ValueError):
+            KernelResources(registers_per_thread=0)
+        with pytest.raises(ValueError):
+            KernelResources(scratch_bytes_per_cta=-1)
+
+
+class TestEngineIntegration:
+    def test_resource_limited_kernel_runs_slower(self, discrete, tiny_options):
+        from repro.pipeline.builder import PipelineBuilder
+        from repro.sim.engine import simulate
+        from repro.units import MB
+
+        def build(resources):
+            b = PipelineBuilder("t")
+            b.buffer("a", 8 * MB)
+            b.copy_h2d("a")
+            b.gpu_kernel(
+                "k", flops=5e8, reads=["a_dev"], efficiency=0.9,
+                resources=resources,
+            )
+            return b.build()
+
+        lean = simulate(
+            build(KernelResources(threads_per_cta=192, registers_per_thread=20)),
+            discrete,
+            tiny_options,
+        )
+        fat = simulate(
+            build(KernelResources(threads_per_cta=256, registers_per_thread=64)),
+            discrete,
+            tiny_options,
+        )
+        assert fat.roi_s > lean.roi_s
+
+    def test_resources_on_cpu_stage_rejected(self):
+        from repro.pipeline.stage import Stage, StageKind
+
+        with pytest.raises(ValueError, match="GPU kernels"):
+            Stage(name="c", kind=StageKind.CPU, resources=KernelResources())

@@ -1,0 +1,120 @@
+"""Tests for repro.sim.pagefault."""
+
+import numpy as np
+import pytest
+
+from repro.config.system import PageFaultConfig
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess, StageKind
+from repro.sim.pagefault import PageFaultModel, premapped_pages
+from repro.trace.generator import BufferLayout
+from repro.units import KB
+
+
+def build_pipeline():
+    b = PipelineBuilder("t")
+    b.buffer("input", 64 * KB)     # read first: true input
+    b.buffer("output", 64 * KB)    # written first: unmapped at ROI start
+    b.buffer("scratch", 64 * KB, temporary=True)
+    b.gpu_kernel(
+        "k",
+        flops=1.0,
+        reads=[BufferAccess("input")],
+        writes=[BufferAccess("output"), BufferAccess("scratch")],
+    )
+    return b.build()
+
+
+class TestPremappedPages:
+    def test_inputs_premapped_outputs_not(self):
+        pipeline = build_pipeline()
+        layout = BufferLayout(pipeline)
+        mapped = premapped_pages(pipeline, layout)
+        input_page = layout.base_block("input") // layout.blocks_per_page
+        output_page = layout.base_block("output") // layout.blocks_per_page
+        assert input_page in mapped
+        assert output_page not in mapped
+
+    def test_temporaries_never_premapped(self):
+        pipeline = build_pipeline()
+        layout = BufferLayout(pipeline)
+        mapped = premapped_pages(pipeline, layout)
+        scratch_page = layout.base_block("scratch") // layout.blocks_per_page
+        assert scratch_page not in mapped
+
+    def test_read_after_write_not_premapped(self):
+        b = PipelineBuilder("t")
+        b.buffer("x", 64 * KB)
+        b.gpu_kernel("w", flops=1.0, writes=[BufferAccess("x")])
+        b.gpu_kernel("r", flops=1.0, reads=[BufferAccess("x")])
+        pipeline = b.build()
+        layout = BufferLayout(pipeline)
+        assert premapped_pages(pipeline, layout) == set()
+
+
+class TestPageFaultModel:
+    def make_model(self, heavy=False, mapped=None):
+        pipeline = build_pipeline()
+        layout = BufferLayout(pipeline)
+        config = PageFaultConfig(service_latency_s=5e-6)
+        return (
+            PageFaultModel(config, layout, mapped or set(), serialization_heavy=heavy),
+            layout,
+        )
+
+    def test_gpu_first_touch_faults(self):
+        model, layout = self.make_model()
+        blocks = np.arange(64, dtype=np.int64)  # two pages
+        result = model.touch(blocks, StageKind.GPU_KERNEL)
+        assert result.faults == 2
+        assert result.service_time_s > 0
+
+    def test_second_touch_does_not_fault(self):
+        model, _ = self.make_model()
+        blocks = np.arange(32, dtype=np.int64)
+        model.touch(blocks, StageKind.GPU_KERNEL)
+        result = model.touch(blocks, StageKind.GPU_KERNEL)
+        assert result.faults == 0
+        assert result.service_time_s == 0.0
+
+    def test_cpu_touch_maps_without_fault_cost(self):
+        model, _ = self.make_model()
+        blocks = np.arange(32, dtype=np.int64)
+        result = model.touch(blocks, StageKind.CPU)
+        assert result.faults == 0
+        assert len(result.zeroed_blocks) == 32
+        # Pages are now mapped; a GPU touch no longer faults.
+        gpu = model.touch(blocks, StageKind.GPU_KERNEL)
+        assert gpu.faults == 0
+
+    def test_zeroed_blocks_cover_whole_pages(self):
+        model, layout = self.make_model()
+        result = model.touch(np.array([0], dtype=np.int64), StageKind.GPU_KERNEL)
+        assert len(result.zeroed_blocks) == layout.blocks_per_page
+
+    def test_premapped_pages_do_not_fault(self):
+        pipeline = build_pipeline()
+        layout = BufferLayout(pipeline)
+        mapped = premapped_pages(pipeline, layout)
+        model = PageFaultModel(PageFaultConfig(), layout, mapped)
+        base = layout.base_block("input")
+        result = model.touch(
+            np.arange(base, base + 32, dtype=np.int64), StageKind.GPU_KERNEL
+        )
+        assert result.faults == 0
+
+    def test_serialization_heavy_costs_more(self):
+        light, _ = self.make_model(heavy=False)
+        heavy, _ = self.make_model(heavy=True)
+        blocks = np.arange(320, dtype=np.int64)
+        light_result = light.touch(blocks, StageKind.GPU_KERNEL)
+        heavy_result = heavy.touch(blocks, StageKind.GPU_KERNEL)
+        assert heavy_result.service_time_s > 10 * light_result.service_time_s
+
+    def test_disabled_config_never_faults(self):
+        pipeline = build_pipeline()
+        layout = BufferLayout(pipeline)
+        model = PageFaultModel(PageFaultConfig(enabled=False), layout, set())
+        result = model.touch(np.arange(64, dtype=np.int64), StageKind.GPU_KERNEL)
+        assert result.faults == 0
+        assert len(result.zeroed_blocks) == 0

@@ -1,0 +1,89 @@
+"""Tests for repro.sim.results (intervals, activity breakdown)."""
+
+import pytest
+
+from repro.sim.hierarchy import Component
+from repro.sim.results import (
+    Interval,
+    activity_breakdown,
+    merge_intervals,
+    total_time,
+)
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(1.0, 3.0).length == 2.0
+
+    def test_rejects_backwards(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_zero_length_allowed(self):
+        assert Interval(1.0, 1.0).length == 0.0
+
+
+class TestMergeIntervals:
+    def test_disjoint_stay_separate(self):
+        merged = merge_intervals([Interval(0, 1), Interval(2, 3)])
+        assert len(merged) == 2
+
+    def test_overlapping_coalesce(self):
+        merged = merge_intervals([Interval(0, 2), Interval(1, 3)])
+        assert merged == [Interval(0, 3)]
+
+    def test_adjacent_coalesce(self):
+        merged = merge_intervals([Interval(0, 1), Interval(1, 2)])
+        assert merged == [Interval(0, 2)]
+
+    def test_contained_absorbed(self):
+        merged = merge_intervals([Interval(0, 10), Interval(2, 3)])
+        assert merged == [Interval(0, 10)]
+
+    def test_unsorted_input(self):
+        merged = merge_intervals([Interval(5, 6), Interval(0, 1)])
+        assert merged == [Interval(0, 1), Interval(5, 6)]
+
+    def test_total_time_deduplicates(self):
+        assert total_time([Interval(0, 2), Interval(1, 3)]) == pytest.approx(3.0)
+
+
+class TestActivityBreakdown:
+    def test_exclusive_segments(self):
+        busy = {
+            Component.COPY: [Interval(0.0, 1.0)],
+            Component.GPU: [Interval(1.0, 3.0)],
+            Component.CPU: [],
+        }
+        activity = activity_breakdown(busy, roi_s=4.0)
+        assert activity[frozenset({Component.COPY})] == pytest.approx(1.0)
+        assert activity[frozenset({Component.GPU})] == pytest.approx(2.0)
+        assert activity[frozenset()] == pytest.approx(1.0)
+
+    def test_overlap_segment(self):
+        busy = {
+            Component.CPU: [Interval(0.0, 2.0)],
+            Component.GPU: [Interval(1.0, 3.0)],
+        }
+        activity = activity_breakdown(busy, roi_s=3.0)
+        assert activity[frozenset({Component.CPU, Component.GPU})] == pytest.approx(1.0)
+        assert activity[frozenset({Component.CPU})] == pytest.approx(1.0)
+        assert activity[frozenset({Component.GPU})] == pytest.approx(1.0)
+
+    def test_segments_sum_to_roi(self):
+        busy = {
+            Component.CPU: [Interval(0.0, 0.5), Interval(2.0, 2.25)],
+            Component.GPU: [Interval(0.25, 1.5)],
+            Component.COPY: [Interval(1.0, 2.5)],
+        }
+        activity = activity_breakdown(busy, roi_s=3.0)
+        assert sum(activity.values()) == pytest.approx(3.0)
+
+    def test_empty_busy_is_all_idle(self):
+        activity = activity_breakdown({}, roi_s=2.0)
+        assert activity == {frozenset(): 2.0}
+
+    def test_triple_overlap(self):
+        busy = {comp: [Interval(0.0, 1.0)] for comp in Component}
+        activity = activity_breakdown(busy, roi_s=1.0)
+        assert activity == {frozenset(Component): pytest.approx(1.0)}

@@ -1,0 +1,109 @@
+"""Tests for repro.sim.timeline and repro.sim.serialize."""
+
+import json
+
+import pytest
+
+from repro.sim.engine import simulate
+from repro.sim.hierarchy import Component
+from repro.sim.serialize import result_to_dict, result_to_json, summary_from_json
+from repro.sim.timeline import (
+    render_stage_table,
+    render_timeline,
+    utilization_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.config.system import discrete_gpu_system
+    from repro.sim.engine import SimOptions
+
+    from tests.conftest import TINY_SCALE, build_offload_pipeline
+
+    return simulate(
+        build_offload_pipeline(), discrete_gpu_system(), SimOptions(scale=TINY_SCALE)
+    )
+
+
+class TestTimeline:
+    def test_renders_all_lanes(self, result):
+        text = render_timeline(result)
+        for lane in ("copy", "cpu", "gpu"):
+            assert f"\n{lane}" in text or text.startswith(lane)
+
+    def test_lane_width_respected(self, result):
+        text = render_timeline(result, width=40)
+        for line in text.splitlines()[1:4]:
+            start = line.index("|")
+            end = line.index("|", start + 1)
+            assert end - start - 1 == 40
+
+    def test_busy_components_show_marks(self, result):
+        text = render_timeline(result)
+        gpu_line = [l for l in text.splitlines() if l.startswith("gpu")][0]
+        assert "=" in gpu_line
+
+    def test_share_percentages_present(self, result):
+        text = render_timeline(result)
+        assert "%" in text
+
+    def test_rejects_tiny_width(self, result):
+        with pytest.raises(ValueError):
+            render_timeline(result, width=5)
+
+    def test_stage_table_lists_stages(self, result):
+        text = render_stage_table(result)
+        assert "map_0" in text
+        assert "h2d_data_1" in text
+
+    def test_stage_table_truncates(self, result):
+        text = render_stage_table(result, limit=2)
+        assert "more stages" in text
+
+    def test_utilization_summary_keys(self, result):
+        summary = utilization_summary(result)
+        assert set(summary) == {
+            "copy_utilization",
+            "cpu_utilization",
+            "gpu_utilization",
+        }
+        assert all(0.0 <= v <= 1.0 for v in summary.values())
+
+
+class TestSerialize:
+    def test_round_trip_summary(self, result):
+        text = result_to_json(result)
+        payload = summary_from_json(text)
+        assert payload["pipeline"] == result.pipeline_name
+        assert payload["roi_s"] == pytest.approx(result.roi_s)
+        assert payload["offchip_accesses"] == result.offchip_accesses()
+
+    def test_stage_records_serialized(self, result):
+        payload = result_to_dict(result)
+        assert len(payload["stages"]) == len(result.stages)
+        first = payload["stages"][0]
+        for key in ("name", "component", "start_s", "end_s", "offchip_reads"):
+            assert key in first
+
+    def test_busy_and_utilization_per_component(self, result):
+        payload = result_to_dict(result)
+        for component in Component:
+            assert component.value in payload["busy_s"]
+            assert component.value in payload["utilization"]
+
+    def test_log_excluded_by_default(self, result):
+        payload = result_to_dict(result)
+        assert "log" not in payload
+
+    def test_log_included_on_request(self, result):
+        payload = result_to_dict(result, include_log=True)
+        assert len(payload["log"]["blocks"]) == result.offchip_accesses()
+
+    def test_json_is_valid(self, result):
+        parsed = json.loads(result_to_json(result))
+        assert parsed["schema"] == "repro.sim_result/v1"
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            summary_from_json(json.dumps({"schema": "other/v9"}))

@@ -1,0 +1,205 @@
+"""Tests for repro.sim.timing, repro.sim.dram, repro.sim.pcie."""
+
+import pytest
+
+from repro.config.system import discrete_gpu_system, heterogeneous_processor
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import BufferAccess, Stage, StageKind
+from repro.sim.dram import MemorySystem
+from repro.sim.hierarchy import Component, DomainResult
+from repro.sim.pcie import CopyEngine
+from repro.sim.timing import (
+    GPU_BASE_MLP,
+    POINTER_CHASE_MLP,
+    compute_stage_timing,
+)
+
+
+def gpu_stage(flops=1e9, occupancy=1.0, pattern=AccessPattern.STREAMING):
+    return Stage(
+        name="k",
+        kind=StageKind.GPU_KERNEL,
+        flops=flops,
+        reads=(BufferAccess("a", pattern),),
+        compute_efficiency=0.5,
+        occupancy=occupancy,
+    )
+
+
+def cpu_stage(flops=1e7, pattern=AccessPattern.STREAMING):
+    return Stage(
+        name="c",
+        kind=StageKind.CPU,
+        flops=flops,
+        reads=(BufferAccess("a", pattern),),
+        compute_efficiency=0.5,
+        occupancy=0.25,
+    )
+
+
+def mem(reads=0, writes=0, onchip=0):
+    return DomainResult(
+        requests=reads + writes,
+        offchip_reads=reads,
+        offchip_writes=writes,
+        onchip_transfers=onchip,
+    )
+
+
+class TestStageTiming:
+    def setup_method(self):
+        self.system = discrete_gpu_system()
+        self.memsys = MemorySystem(self.system)
+
+    def bw(self, component=Component.GPU):
+        return self.memsys.effective_bandwidth(component, frozenset())
+
+    def test_compute_bound_kernel(self):
+        timing = compute_stage_timing(
+            gpu_stage(flops=1e9), self.system, mem(reads=10), self.bw(), 128
+        )
+        # 1e9 flops at 358.4e9 * 0.5 efficiency.
+        assert timing.compute_s == pytest.approx(1e9 / (358.4e9 * 0.5))
+        assert timing.duration_s >= timing.compute_s
+
+    def test_memory_bound_kernel(self):
+        timing = compute_stage_timing(
+            gpu_stage(flops=1e3), self.system, mem(reads=1_000_000), self.bw(), 128
+        )
+        assert timing.memory_s > timing.compute_s
+        expected = 1_000_000 * 128 / self.bw().bytes_per_second
+        assert timing.memory_s == pytest.approx(expected)
+
+    def test_compute_and_memory_overlap(self):
+        timing = compute_stage_timing(
+            gpu_stage(flops=1e9), self.system, mem(reads=1_000_000), self.bw(), 128
+        )
+        assert timing.duration_s == pytest.approx(
+            max(timing.compute_s, timing.memory_s) + timing.latency_s
+        )
+
+    def test_occupancy_slows_compute(self):
+        full = compute_stage_timing(
+            gpu_stage(occupancy=1.0), self.system, mem(), self.bw(), 128
+        )
+        half = compute_stage_timing(
+            gpu_stage(occupancy=0.5), self.system, mem(), self.bw(), 128
+        )
+        assert half.compute_s == pytest.approx(2 * full.compute_s)
+
+    def test_cpu_latency_sensitivity(self):
+        cpu = cpu_stage()
+        timing = compute_stage_timing(
+            cpu, self.system, mem(reads=6000), self.bw(Component.CPU), 128
+        )
+        expected = (
+            6000
+            * self.system.cpu.miss_latency_s
+            / self.system.cpu.memory_level_parallelism
+        )
+        assert timing.latency_s == pytest.approx(expected)
+
+    def test_pointer_chase_cuts_cpu_mlp(self):
+        streaming = compute_stage_timing(
+            cpu_stage(), self.system, mem(reads=1000), self.bw(Component.CPU), 128
+        )
+        chasing = compute_stage_timing(
+            cpu_stage(pattern=AccessPattern.POINTER_CHASE),
+            self.system,
+            mem(reads=1000),
+            self.bw(Component.CPU),
+            128,
+        )
+        ratio = chasing.latency_s / streaming.latency_s
+        assert ratio == pytest.approx(
+            self.system.cpu.memory_level_parallelism / POINTER_CHASE_MLP
+        )
+
+    def test_gpu_hides_latency_better_than_cpu(self):
+        gpu_t = compute_stage_timing(
+            gpu_stage(flops=1.0), self.system, mem(reads=1000), self.bw(), 128
+        )
+        cpu_t = compute_stage_timing(
+            cpu_stage(flops=1.0), self.system, mem(reads=1000),
+            self.bw(Component.CPU), 128,
+        )
+        assert gpu_t.latency_s < cpu_t.latency_s
+
+    def test_onchip_transfers_cheaper_than_offchip(self):
+        offchip = compute_stage_timing(
+            cpu_stage(flops=1.0), self.system, mem(reads=1000),
+            self.bw(Component.CPU), 128,
+        )
+        onchip = compute_stage_timing(
+            cpu_stage(flops=1.0), self.system, mem(onchip=1000),
+            self.bw(Component.CPU), 128,
+        )
+        assert onchip.latency_s < offchip.latency_s / 2
+
+    def test_fault_service_adds_serial_time(self):
+        base = compute_stage_timing(
+            gpu_stage(), self.system, mem(), self.bw(), 128
+        )
+        faulted = compute_stage_timing(
+            gpu_stage(), self.system, mem(), self.bw(), 128, fault_service_s=1e-3
+        )
+        assert faulted.duration_s == pytest.approx(base.duration_s + 1e-3)
+
+    def test_copy_stage_rejected(self):
+        copy = Stage(name="c", kind=StageKind.COPY, src="a", dst="b")
+        with pytest.raises(ValueError, match="CopyEngine"):
+            compute_stage_timing(copy, self.system, mem(), self.bw(), 128)
+
+
+class TestMemorySystem:
+    def test_discrete_pools(self):
+        memsys = MemorySystem(discrete_gpu_system())
+        assert memsys.pool_of(Component.CPU).name == "DDR3-1600"
+        assert memsys.pool_of(Component.GPU).name == "GDDR5"
+
+    def test_heterogeneous_single_pool(self):
+        memsys = MemorySystem(heterogeneous_processor())
+        assert memsys.pool_of(Component.CPU).name == "GDDR5"
+        assert memsys.pool_of(Component.GPU).name == "GDDR5"
+
+    def test_bandwidth_shared_when_concurrent(self):
+        memsys = MemorySystem(heterogeneous_processor())
+        alone = memsys.effective_bandwidth(Component.GPU, frozenset())
+        shared = memsys.effective_bandwidth(
+            Component.GPU, frozenset({Component.CPU})
+        )
+        assert shared.bytes_per_second == pytest.approx(alone.bytes_per_second / 2)
+
+    def test_discrete_cpu_gpu_do_not_contend(self):
+        memsys = MemorySystem(discrete_gpu_system())
+        alone = memsys.effective_bandwidth(Component.GPU, frozenset())
+        with_cpu = memsys.effective_bandwidth(
+            Component.GPU, frozenset({Component.CPU})
+        )
+        assert with_cpu.bytes_per_second == pytest.approx(alone.bytes_per_second)
+
+
+class TestCopyEngine:
+    def test_discrete_copy_over_pcie(self):
+        system = discrete_gpu_system()
+        engine = CopyEngine(system)
+        timing = engine.copy_time(8e6)
+        assert timing.transfer_s == pytest.approx(8e6 / system.pcie.achievable_bandwidth)
+        assert timing.launch_s == system.pcie.copy_launch_latency_s
+
+    def test_heterogeneous_copy_pays_read_plus_write(self):
+        system = heterogeneous_processor()
+        engine = CopyEngine(system)
+        timing = engine.copy_time(8e6)
+        assert timing.transfer_s == pytest.approx(
+            2 * 8e6 / system.gpu_memory.achievable_bandwidth
+        )
+
+    def test_heterogeneous_copy_is_much_faster(self):
+        discrete_time = CopyEngine(discrete_gpu_system()).copy_time(8e6).transfer_s
+        hetero_time = CopyEngine(heterogeneous_processor()).copy_time(8e6).transfer_s
+        assert hetero_time < discrete_time / 5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            CopyEngine(discrete_gpu_system()).copy_time(-1.0)

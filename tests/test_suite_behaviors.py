@@ -1,0 +1,176 @@
+"""Behavioural tests for named benchmarks the paper singles out.
+
+Each test pins one of the paper's per-benchmark observations to the
+corresponding workload model, at tiny scale.
+"""
+
+import pytest
+
+from repro.config.system import discrete_gpu_system, heterogeneous_processor
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import StageKind
+from repro.pipeline.transforms import remove_copies
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.hierarchy import Component
+from repro.workloads.registry import get
+
+from tests.conftest import TINY_SCALE
+
+
+@pytest.fixture(scope="module")
+def options():
+    return SimOptions(scale=TINY_SCALE)
+
+
+def run_pair(name, options):
+    pipeline = get(name).pipeline()
+    copy_result = simulate(pipeline, discrete_gpu_system(), options)
+    limited_result = simulate(
+        remove_copies(pipeline), heterogeneous_processor(), options
+    )
+    return copy_result, limited_result
+
+
+class TestKmeans:
+    def test_copies_dominate_baseline(self, options):
+        copy_result, _ = run_pair("rodinia/kmeans", options)
+        copy_share = copy_result.busy_time(Component.COPY) / copy_result.roi_s
+        assert copy_share > 0.45  # paper: over 50%
+
+    def test_gpu_underutilized_in_baseline(self, options):
+        copy_result, _ = run_pair("rodinia/kmeans", options)
+        assert copy_result.utilization(Component.GPU) < 0.30  # paper: 18%
+
+    def test_gpu_does_vast_majority_of_flops(self, options):
+        copy_result, _ = run_pair("rodinia/kmeans", options)
+        flops = copy_result.flops_by_component
+        share = flops[Component.GPU] / (
+            flops[Component.GPU] + flops[Component.CPU]
+        )
+        assert share > 0.9  # paper: 95%
+
+    def test_port_roughly_halves_runtime(self, options):
+        copy_result, limited_result = run_pair("rodinia/kmeans", options)
+        assert limited_result.roi_s / copy_result.roi_s == pytest.approx(
+            0.5, abs=0.12
+        )
+
+
+class TestSrad:
+    def test_large_gpu_temporaries(self):
+        pipeline = get("rodinia/srad").pipeline()
+        temps = [b for b in pipeline.buffers.values() if b.temporary]
+        assert sum(b.size_bytes for b in temps) >= pipeline.footprint_bytes * 0.3
+
+    def test_pagefault_serialization_slowdown(self, options):
+        copy_result, limited_result = run_pair("rodinia/srad", options)
+        gpu_copy = copy_result.busy_time(Component.GPU)
+        gpu_limited = limited_result.busy_time(Component.GPU)
+        assert gpu_limited / gpu_copy > 4.0  # paper: 7x
+
+
+class TestDwt:
+    def test_cpu_execution_dominates_baseline(self, options):
+        copy_result, _ = run_pair("rodinia/dwt", options)
+        cpu = copy_result.busy_time(Component.CPU)
+        gpu = copy_result.busy_time(Component.GPU)
+        assert cpu > gpu  # paper: CPU-dominated, big migration gains
+
+    def test_quantize_stages_migratable(self):
+        pipeline = get("rodinia/dwt").pipeline()
+        quantize = pipeline.stage("quantize_0")
+        assert quantize.kind is StageKind.CPU and quantize.migratable
+
+
+class TestMummer:
+    def test_pointer_chasing_tree_traversal(self):
+        pipeline = get("rodinia/mummer").pipeline()
+        align = pipeline.stage("align")
+        patterns = {a.pattern for a in align.reads}
+        assert AccessPattern.POINTER_CHASE in patterns
+
+    def test_not_pipeline_parallelizable(self):
+        assert not get("rodinia/mummer").pipe_parallel
+
+    def test_cpu_disk_read_stage_exists(self):
+        pipeline = get("rodinia/mummer").pipeline()
+        assert pipeline.stage("disk_read").kind is StageKind.CPU
+
+
+class TestBarnesHut:
+    def test_copies_survive_porting(self):
+        pipeline = get("lonestar/bh").pipeline()
+        limited = remove_copies(pipeline)
+        assert len(limited.copy_stages) == len(pipeline.copy_stages)
+
+    def test_tree_temporary_dominates_gpu_footprint(self):
+        pipeline = get("lonestar/bh").pipeline()
+        tree = pipeline.buffers["tree"]
+        assert tree.temporary
+        assert tree.size_bytes > pipeline.buffers["bodies"].size_bytes
+
+
+class TestSsspWln:
+    def test_numerous_serialized_kernels(self):
+        # Paper: sssp_wln has numerous serialized kernels and copies, so
+        # Cserial matters; it runs more iterations than its siblings.
+        wln = get("lonestar/sssp_wln").pipeline()
+        sssp = get("lonestar/sssp").pipeline()
+        wln_kernels = len(wln.stages_of_kind(StageKind.GPU_KERNEL))
+        sssp_kernels = len(sssp.stages_of_kind(StageKind.GPU_KERNEL))
+        assert wln_kernels > sssp_kernels
+
+    def test_cserial_nonzero(self, options):
+        copy_result, _ = run_pair("lonestar/sssp_wln", options)
+        assert copy_result.serial_launch_time() > 0
+
+
+class TestStreamcluster:
+    def test_pgain_stages_migratable(self):
+        pipeline = get("rodinia/strmclstr").pipeline()
+        pgain = pipeline.stage("pgain_0")
+        assert pgain.kind is StageKind.CPU and pgain.migratable
+
+    def test_broadcast_centres(self):
+        pipeline = get("rodinia/strmclstr").pipeline()
+        dist = pipeline.stage("dist_0")
+        broadcast = [a for a in dist.reads if a.broadcast]
+        assert broadcast and broadcast[0].pattern is AccessPattern.BROADCAST
+
+
+class TestCutcpAndFft:
+    def test_residual_copies_remain(self):
+        for name in ("parboil/cutcp", "parboil/fft"):
+            limited = remove_copies(get(name).pipeline())
+            assert len(limited.copy_stages) >= 2, name
+
+    def test_fft_has_double_buffer_scratch(self):
+        pipeline = get("parboil/fft").pipeline()
+        assert pipeline.buffers["scratch"].temporary
+
+    def test_fft_cpu_reorder_migratable(self):
+        pipeline = get("parboil/fft").pipeline()
+        assert pipeline.stage("reorder").migratable
+
+
+class TestGraphSuites:
+    @pytest.mark.parametrize(
+        "name", ["lonestar/bfs", "pannotia/pr", "parboil/spmv"]
+    )
+    def test_copy_accesses_small_fraction(self, name, options):
+        copy_result, _ = run_pair(name, options)
+        accesses = copy_result.offchip_by_component()
+        fraction = accesses[Component.COPY] / sum(accesses.values())
+        assert fraction < 0.12  # paper: at most ~5% at full scale
+
+    def test_bfs_touches_under_half_the_data(self, options):
+        from repro.core.footprint import footprint_breakdown
+
+        copy_result, _ = run_pair("lonestar/bfs", options)
+        breakdown = footprint_breakdown(copy_result)
+        copied = breakdown.bytes_touched_by(Component.COPY)
+        cores = max(
+            breakdown.bytes_touched_by(Component.CPU),
+            breakdown.bytes_touched_by(Component.GPU),
+        )
+        assert cores < copied * 0.6

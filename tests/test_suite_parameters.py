@@ -1,0 +1,95 @@
+"""Invariants over every suite's workload parameters."""
+
+import pytest
+
+from repro.pipeline.patterns import IRREGULAR_PATTERNS
+from repro.pipeline.stage import StageKind
+from repro.pipeline.transforms import remove_copies
+from repro.units import MB
+from repro.workloads.registry import simulatable_specs, suite_specs
+
+
+ALL_SIMULATABLE = list(simulatable_specs())
+
+
+class TestFootprints:
+    @pytest.mark.parametrize("spec", ALL_SIMULATABLE, ids=lambda s: s.full_name)
+    def test_paper_footprint_band(self, spec):
+        # Copy versions: at least 6MB and below 128MB (paper: 6MB-90MB,
+        # plus mirrors).
+        footprint = spec.pipeline().footprint_bytes
+        assert 6 * MB <= footprint <= 128 * MB
+
+    @pytest.mark.parametrize("spec", ALL_SIMULATABLE, ids=lambda s: s.full_name)
+    def test_limited_copy_at_least_3_5mb(self, spec):
+        # Paper: limited-copy footprints are at least 3.5MB.
+        limited = remove_copies(spec.pipeline())
+        assert limited.footprint_bytes >= 3.5 * MB
+
+
+class TestStageParameters:
+    @pytest.mark.parametrize("spec", ALL_SIMULATABLE, ids=lambda s: s.full_name)
+    def test_every_kernel_has_positive_flops(self, spec):
+        for stage in spec.pipeline().stages_of_kind(StageKind.GPU_KERNEL):
+            assert stage.flops > 0, stage.name
+
+    @pytest.mark.parametrize("spec", ALL_SIMULATABLE, ids=lambda s: s.full_name)
+    def test_every_kernel_touches_memory(self, spec):
+        for stage in spec.pipeline().stages_of_kind(StageKind.GPU_KERNEL):
+            assert stage.accesses, stage.name
+
+
+class TestFlagConsistency:
+    def test_irregular_specs_use_irregular_patterns(self):
+        # A spec flagged irregular must have at least one irregular access
+        # in its pipeline (graph/random/pointer-chase).
+        for spec in ALL_SIMULATABLE:
+            if not spec.irregular:
+                continue
+            patterns = {
+                access.pattern
+                for stage in spec.pipeline().stages
+                for access in stage.accesses
+            }
+            assert patterns & IRREGULAR_PATTERNS, spec.full_name
+
+    def test_misaligned_specs_have_unaligned_buffers(self):
+        for spec in ALL_SIMULATABLE:
+            if not spec.misaligned_limited_copy:
+                continue
+            pipeline = spec.pipeline()
+            unaligned = [
+                b for b in pipeline.buffers.values() if not b.cpu_line_aligned
+            ]
+            assert unaligned, spec.full_name
+
+    def test_pagefault_heavy_matches_metadata(self):
+        for spec in ALL_SIMULATABLE:
+            metadata_flag = bool(
+                spec.pipeline().metadata.get("pagefault_heavy", False)
+            )
+            assert metadata_flag == spec.pagefault_heavy, spec.full_name
+
+    def test_sw_queue_specs_have_worklists(self):
+        for spec in ALL_SIMULATABLE:
+            if not spec.sw_queue:
+                continue
+            assert "worklist" in spec.pipeline().buffers, spec.full_name
+
+
+class TestSuiteComposition:
+    def test_lonestar_simulatable_count(self):
+        assert sum(s.simulatable for s in suite_specs("lonestar")) == 11
+
+    def test_pannotia_all_simulatable(self):
+        assert all(s.simulatable for s in suite_specs("pannotia"))
+
+    def test_parboil_simulatable_count(self):
+        assert sum(s.simulatable for s in suite_specs("parboil")) == 8
+
+    def test_rodinia_simulatable_count(self):
+        assert sum(s.simulatable for s in suite_specs("rodinia")) == 17
+
+    def test_descriptions_non_empty(self):
+        for spec in ALL_SIMULATABLE:
+            assert spec.description.strip()

@@ -1,0 +1,202 @@
+"""Tests for repro.pipeline.transforms."""
+
+import pytest
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.graph import PipelineError
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import BufferAccess, StageKind
+from repro.pipeline.transforms import (
+    chunk_stages,
+    fission_async_streams,
+    migrate_compute,
+    parallel_producer_consumer,
+    remove_copies,
+)
+
+from tests.conftest import build_offload_pipeline
+
+
+def simple_copy_pipeline():
+    b = PipelineBuilder("t", metadata={"outputs": ("out",)})
+    b.buffer("in", 8192)
+    b.buffer("out", 8192)
+    b.copy_h2d("in", name="h2d")
+    b.mirror("out")
+    b.gpu_kernel("k", flops=10.0, reads=["in_dev"], writes=["out_dev"])
+    b.copy_d2h("out_dev", "out", name="d2h")
+    b.cpu_stage("post", flops=1.0, reads=["out"])
+    return b.build()
+
+
+class TestRemoveCopies:
+    def test_removes_mirror_copies_and_buffers(self):
+        limited = remove_copies(simple_copy_pipeline())
+        assert limited.limited_copy
+        assert limited.copy_stages == ()
+        assert "in_dev" not in limited.buffers
+        assert "out_dev" not in limited.buffers
+
+    def test_rewires_accesses_to_base_buffers(self):
+        limited = remove_copies(simple_copy_pipeline())
+        kernel = limited.stage("k")
+        assert kernel.reads[0].buffer == "in"
+        assert kernel.writes[0].buffer == "out"
+
+    def test_dependencies_bridged_across_removed_stages(self):
+        limited = remove_copies(simple_copy_pipeline())
+        # h2d was k's only dep and had none itself.
+        assert limited.stage("k").depends_on == ()
+        # d2h sat between k and post.
+        assert limited.stage("post").depends_on == ("k",)
+
+    def test_footprint_shrinks(self):
+        original = simple_copy_pipeline()
+        limited = remove_copies(original)
+        assert limited.footprint_bytes < original.footprint_bytes
+
+    def test_idempotent(self):
+        limited = remove_copies(simple_copy_pipeline())
+        assert remove_copies(limited) is limited
+
+    def test_residual_copies_pin_their_mirrors(self):
+        b = PipelineBuilder("t", metadata={"outputs": ("data",)})
+        b.buffer("data", 8192)
+        b.copy_h2d("data", name="h2d", mirror=False)  # not removable
+        b.gpu_kernel("k", flops=1.0, reads=["data_dev"])
+        b.copy_d2h("data_dev", "data", name="d2h", mirror=False)
+        limited = remove_copies(b.build())
+        # Residual copies survive and keep using the device mirror.
+        assert {s.name for s in limited.copy_stages} == {"h2d", "d2h"}
+        assert "data_dev" in limited.buffers
+        assert limited.stage("k").reads[0].buffer == "data_dev"
+
+    def test_mixed_mirror_and_residual(self):
+        b = PipelineBuilder("t")
+        b.buffer("a", 8192)
+        b.buffer("b", 8192)
+        b.copy_h2d("a", name="h2d_a")               # removable
+        b.copy_h2d("b", name="h2d_b", mirror=False)  # residual
+        b.gpu_kernel("k", flops=1.0, reads=["a_dev", "b_dev"])
+        limited = remove_copies(b.build())
+        kernel = limited.stage("k")
+        assert kernel.reads[0].buffer == "a"
+        assert kernel.reads[1].buffer == "b_dev"
+
+
+class TestChunkStages:
+    def test_splits_chunkable_stages(self):
+        pipeline = build_offload_pipeline(iterations=1)
+        chunked = chunk_stages(pipeline, 4)
+        maps = [s for s in chunked.stages if s.logical_name == "map_0"]
+        assert len(maps) == 4
+        assert sum(s.flops for s in maps) == pytest.approx(
+            pipeline.stage("map_0").flops
+        )
+
+    def test_chunk_regions_partition_buffer(self):
+        pipeline = build_offload_pipeline(iterations=1)
+        chunked = chunk_stages(pipeline, 4)
+        maps = [s for s in chunked.stages if s.logical_name == "map_0"]
+        regions = sorted((s.reads[0].region.start, s.reads[0].region.end) for s in maps)
+        assert regions[0][0] == 0.0
+        assert regions[-1][1] == 1.0
+
+    def test_chunk_dependencies_form_lanes(self):
+        pipeline = build_offload_pipeline(iterations=1)
+        chunked = chunk_stages(pipeline, 3)
+        # map chunk i depends on h2d chunk i only.
+        for i in range(3):
+            map_stage = chunked.stage(f"map_0_chunk{i}")
+            assert map_stage.depends_on == (f"h2d_data_1_chunk{i}",)
+
+    def test_non_chunkable_stage_waits_for_all_chunks(self):
+        b = PipelineBuilder("t")
+        b.buffer("x", 8192)
+        b.gpu_kernel("k", flops=1.0, writes=["x"], chunkable=True)
+        b.cpu_stage("join", flops=1.0, reads=["x"])
+        chunked = chunk_stages(b.build(), 3)
+        join = chunked.stage("join")
+        assert set(join.depends_on) == {"k_chunk0", "k_chunk1", "k_chunk2"}
+
+    def test_no_chunkable_stages_returns_same_pipeline(self):
+        b = PipelineBuilder("t")
+        b.cpu_stage("s", flops=1.0)
+        pipeline = b.build()
+        assert chunk_stages(pipeline, 4) is pipeline
+
+    def test_one_chunk_is_identity(self):
+        pipeline = build_offload_pipeline()
+        assert chunk_stages(pipeline, 1) is pipeline
+
+    def test_rejects_bad_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunk_stages(build_offload_pipeline(), 0)
+
+
+class TestTransformGuards:
+    def test_fission_rejects_limited_copy(self):
+        limited = remove_copies(build_offload_pipeline())
+        with pytest.raises(PipelineError, match="fission"):
+            fission_async_streams(limited, 4)
+
+    def test_parallel_pc_requires_limited_copy(self):
+        with pytest.raises(PipelineError, match="remove_copies"):
+            parallel_producer_consumer(build_offload_pipeline(), 4)
+
+    def test_parallel_pc_on_limited(self):
+        limited = remove_copies(build_offload_pipeline())
+        chunked = parallel_producer_consumer(limited, 4)
+        assert len(chunked.stages) > len(limited.stages)
+        assert chunked.limited_copy
+
+
+class TestMigrateCompute:
+    def test_migratable_cpu_stage_becomes_gpu_kernel(self):
+        pipeline = build_offload_pipeline(iterations=1)
+        migrated = migrate_compute(pipeline)
+        stage = migrated.stage("reduce_0")
+        assert stage.kind is StageKind.GPU_KERNEL
+        assert not stage.migratable
+
+    def test_efficiency_haircut_applied(self):
+        pipeline = build_offload_pipeline(iterations=1)
+        original = pipeline.stage("reduce_0")
+        migrated = migrate_compute(pipeline, efficiency_factor=0.5)
+        assert migrated.stage("reduce_0").compute_efficiency == pytest.approx(
+            original.compute_efficiency * 0.5
+        )
+
+    def test_prunes_feeding_d2h_copy_and_reads_gpu_data(self):
+        b = PipelineBuilder("t", metadata={"outputs": ()})
+        b.buffer("data", 8192)
+        b.buffer("partial", 8192)
+        b.copy_h2d("data")
+        b.mirror("partial")
+        b.gpu_kernel("k", flops=1.0, reads=["data_dev"], writes=["partial_dev"])
+        b.copy_d2h("partial_dev", "partial", name="d2h")
+        b.cpu_stage("reduce", flops=1.0, reads=["partial"], migratable=True)
+        migrated = migrate_compute(b.build())
+        names = {s.name for s in migrated.stages}
+        assert "d2h" not in names
+        reduce_stage = migrated.stage("reduce")
+        assert reduce_stage.reads[0].buffer == "partial_dev"
+        assert reduce_stage.depends_on == ("k",)
+
+    def test_output_buffers_keep_their_copies(self):
+        b = PipelineBuilder("t", metadata={"outputs": ("partial",)})
+        b.buffer("data", 8192)
+        b.buffer("partial", 8192)
+        b.copy_h2d("data")
+        b.mirror("partial")
+        b.gpu_kernel("k", flops=1.0, reads=["data_dev"], writes=["partial_dev"])
+        b.copy_d2h("partial_dev", "partial", name="d2h")
+        b.cpu_stage("reduce", flops=1.0, reads=["partial"], migratable=True)
+        migrated = migrate_compute(b.build())
+        assert "d2h" in {s.name for s in migrated.stages}
+
+    def test_no_migratable_stages_is_identity(self):
+        b = PipelineBuilder("t")
+        b.cpu_stage("s", flops=1.0)
+        pipeline = b.build()
+        assert migrate_compute(pipeline) is pipeline

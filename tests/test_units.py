@@ -1,0 +1,67 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_capacity_constants(self):
+        assert units.KB == 1024
+        assert units.MB == 1024 * 1024
+        assert units.GB == 1024 ** 3
+
+    def test_rate_constants(self):
+        assert units.GHZ == 1e9
+        assert units.MHZ == 1e6
+        assert units.GFLOPS == 1e9
+
+    def test_time_constants_ordering(self):
+        assert (
+            units.NANOSECONDS
+            < units.MICROSECONDS
+            < units.MILLISECONDS
+            < units.SECONDS
+        )
+
+
+class TestBytesToHuman:
+    def test_bytes(self):
+        assert units.bytes_to_human(512) == "512B"
+
+    def test_kilobytes(self):
+        assert units.bytes_to_human(1536) == "1.5KB"
+
+    def test_megabytes(self):
+        assert units.bytes_to_human(24 * units.MB) == "24.0MB"
+
+    def test_gigabytes(self):
+        assert units.bytes_to_human(3 * units.GB) == "3.0GB"
+
+    def test_zero(self):
+        assert units.bytes_to_human(0) == "0B"
+
+
+class TestSecondsToHuman:
+    def test_seconds(self):
+        assert units.seconds_to_human(1.5) == "1.500s"
+
+    def test_milliseconds(self):
+        assert units.seconds_to_human(0.0031) == "3.100ms"
+
+    def test_microseconds(self):
+        assert units.seconds_to_human(42e-6) == "42.000us"
+
+    def test_nanoseconds(self):
+        assert units.seconds_to_human(120e-9) == "120.0ns"
+
+    def test_negative(self):
+        assert units.seconds_to_human(-0.002) == "-2.000ms"
+
+
+class TestBandwidthToHuman:
+    def test_pcie(self):
+        assert units.bandwidth_to_human(8e9) == "8.0GB/s"
+
+    def test_gddr5(self):
+        assert units.bandwidth_to_human(179e9) == "179.0GB/s"

@@ -1,0 +1,172 @@
+"""Tests for the declarative workload loader."""
+
+import json
+
+import pytest
+
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import StageKind
+from repro.units import KB, MB
+from repro.workloads.loader import (
+    WorkloadSpecError,
+    parse_size,
+    pipeline_from_dict,
+    pipeline_from_file,
+    pipeline_from_json,
+)
+
+SPEC = {
+    "name": "custom/app",
+    "outputs": ["out"],
+    "buffers": [
+        {"name": "in", "size": "8MB"},
+        {"name": "out", "size": "2MB"},
+        {"name": "scratch", "size": 65536, "temporary": True},
+    ],
+    "stages": [
+        {"op": "h2d", "buffer": "in", "chunkable": True},
+        {"op": "mirror", "buffer": "out"},
+        {
+            "op": "gpu",
+            "name": "kernel",
+            "flops": 2e9,
+            "reads": [
+                {"buffer": "in_dev", "pattern": "streaming", "passes": 2},
+                {"buffer": "scratch", "pattern": "random", "fraction": 0.5},
+            ],
+            "writes": [{"buffer": "out_dev"}],
+            "efficiency": 0.6,
+            "chunkable": True,
+            "resources": {"threads_per_cta": 192, "registers_per_thread": 20},
+        },
+        {"op": "d2h", "src": "out_dev", "dst": "out", "name": "drain"},
+        {
+            "op": "cpu",
+            "name": "post",
+            "flops": 1e6,
+            "reads": [{"buffer": "out"}],
+            "migratable": True,
+        },
+    ],
+}
+
+
+class TestParseSize:
+    def test_integers_pass_through(self):
+        assert parse_size(4096) == 4096
+
+    def test_suffixes(self):
+        assert parse_size("4KB") == 4 * KB
+        assert parse_size("24MB") == 24 * MB
+        assert parse_size("1.5GB") == int(1.5 * 1024 * MB)
+        assert parse_size("512B") == 512
+
+    def test_case_insensitive(self):
+        assert parse_size("4kb") == 4 * KB
+
+    def test_rejects_garbage(self):
+        for bad in ("4 parsecs", "", -5, 0, True, None, [4]):
+            with pytest.raises(WorkloadSpecError):
+                parse_size(bad)
+
+
+class TestPipelineFromDict:
+    def test_builds_valid_pipeline(self):
+        pipeline = pipeline_from_dict(SPEC)
+        assert pipeline.name == "custom/app"
+        assert pipeline.metadata["outputs"] == ("out",)
+        assert len(pipeline.stages) == 4  # h2d, kernel, d2h, post
+
+    def test_buffers_created(self):
+        pipeline = pipeline_from_dict(SPEC)
+        assert pipeline.buffers["in"].size_bytes == 8 * MB
+        assert pipeline.buffers["scratch"].temporary
+        assert "in_dev" in pipeline.buffers  # implicit mirror
+        assert "out_dev" in pipeline.buffers  # explicit mirror
+
+    def test_kernel_attributes(self):
+        pipeline = pipeline_from_dict(SPEC)
+        kernel = pipeline.stage("kernel")
+        assert kernel.kind is StageKind.GPU_KERNEL
+        assert kernel.flops == 2e9
+        assert kernel.compute_efficiency == 0.6
+        assert kernel.resources.threads_per_cta == 192
+        assert kernel.reads[1].pattern is AccessPattern.RANDOM
+        assert kernel.reads[1].fraction == 0.5
+
+    def test_cpu_stage_attributes(self):
+        pipeline = pipeline_from_dict(SPEC)
+        post = pipeline.stage("post")
+        assert post.kind is StageKind.CPU
+        assert post.migratable
+
+    def test_loaded_pipeline_simulates(self, discrete, tiny_options):
+        from repro.sim.engine import simulate
+
+        result = simulate(pipeline_from_dict(SPEC), discrete, tiny_options)
+        assert result.roi_s > 0
+
+    def test_loaded_pipeline_ports(self):
+        from repro.pipeline.transforms import remove_copies
+
+        limited = remove_copies(pipeline_from_dict(SPEC))
+        assert limited.copy_stages == ()
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(WorkloadSpecError, match="name"):
+            pipeline_from_dict({"buffers": [], "stages": []})
+
+    def test_unknown_op_rejected(self):
+        spec = {"name": "x", "stages": [{"op": "teleport"}]}
+        with pytest.raises(WorkloadSpecError, match="unknown op"):
+            pipeline_from_dict(spec)
+
+    def test_unknown_pattern_rejected(self):
+        spec = {
+            "name": "x",
+            "buffers": [{"name": "a", "size": 4096}],
+            "stages": [
+                {"op": "gpu", "name": "k", "flops": 1,
+                 "reads": [{"buffer": "a", "pattern": "zigzag"}]}
+            ],
+        }
+        with pytest.raises(WorkloadSpecError, match="zigzag"):
+            pipeline_from_dict(spec)
+
+    def test_d2h_requires_src_dst(self):
+        spec = {"name": "x", "stages": [{"op": "d2h", "src": "a"}]}
+        with pytest.raises(WorkloadSpecError, match="src"):
+            pipeline_from_dict(spec)
+
+    def test_region_parsed(self):
+        spec = {
+            "name": "x",
+            "buffers": [{"name": "a", "size": 8192}],
+            "stages": [
+                {"op": "gpu", "name": "k", "flops": 1,
+                 "reads": [{"buffer": "a", "region": [0.25, 0.75]}]}
+            ],
+        }
+        pipeline = pipeline_from_dict(spec)
+        region = pipeline.stage("k").reads[0].region
+        assert (region.start, region.end) == (0.25, 0.75)
+
+
+class TestJsonAndFile:
+    def test_from_json(self):
+        pipeline = pipeline_from_json(json.dumps(SPEC))
+        assert pipeline.name == "custom/app"
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(WorkloadSpecError, match="invalid JSON"):
+            pipeline_from_json("{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(WorkloadSpecError, match="object"):
+            pipeline_from_json("[1, 2]")
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(SPEC))
+        pipeline = pipeline_from_file(str(path))
+        assert pipeline.name == "custom/app"

@@ -1,0 +1,69 @@
+"""Tests for repro.workloads.scaling."""
+
+import pytest
+
+from repro.trace.generator import TraceGenerator
+from repro.workloads.scaling import (
+    ScalingReport,
+    estimate_accesses,
+    recommended_scale,
+    scaling_report,
+)
+
+from tests.conftest import TINY_SCALE, build_offload_pipeline
+
+
+class TestEstimateAccesses:
+    def test_matches_generated_trace(self):
+        pipeline = build_offload_pipeline(iterations=2).scaled(TINY_SCALE)
+        generator = TraceGenerator(pipeline)
+        actual = sum(
+            len(generator.stage_trace(stage).stream)
+            for stage in pipeline.stages
+        )
+        predicted = estimate_accesses(build_offload_pipeline(iterations=2),
+                                      scale=TINY_SCALE)
+        assert predicted == pytest.approx(actual, rel=0.05)
+
+    def test_scales_linearly(self):
+        pipeline = build_offload_pipeline()
+        full = estimate_accesses(pipeline, 1.0)
+        half = estimate_accesses(pipeline, 0.5)
+        assert half == pytest.approx(full / 2, rel=0.02)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            estimate_accesses(build_offload_pipeline(), 0.0)
+
+
+class TestRecommendedScale:
+    def test_fits_budget(self):
+        pipeline = build_offload_pipeline()
+        scale = recommended_scale(pipeline, max_accesses=50_000)
+        assert estimate_accesses(pipeline, scale) <= 50_000
+
+    def test_large_budget_keeps_full_scale(self):
+        pipeline = build_offload_pipeline()
+        assert recommended_scale(pipeline, max_accesses=10**12) == 1.0
+
+    def test_respects_min_scale(self):
+        pipeline = build_offload_pipeline()
+        scale = recommended_scale(pipeline, max_accesses=1, min_scale=1 / 64)
+        assert scale == 1 / 64
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            recommended_scale(build_offload_pipeline(), max_accesses=0)
+
+
+class TestScalingReport:
+    def test_invariance_between_scales(self):
+        pipeline = build_offload_pipeline(iterations=2)
+        report = scaling_report(pipeline, 1 / 64, 1 / 128)
+        assert report.runtime_invariant, report
+        assert report.access_invariant, report
+        assert report.gpu_utilization_delta < 0.1
+
+    def test_rejects_inverted_scales(self):
+        with pytest.raises(ValueError):
+            scaling_report(build_offload_pipeline(), 1 / 128, 1 / 64)

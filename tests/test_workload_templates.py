@@ -1,0 +1,179 @@
+"""Tests for the workload pipeline templates."""
+
+import pytest
+
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import StageKind
+from repro.pipeline.transforms import remove_copies
+from repro.units import MB
+from repro.workloads.templates import (
+    dense_app,
+    graph_app,
+    offload_loop_app,
+    stencil_app,
+)
+
+
+class TestGraphApp:
+    def make(self, **overrides):
+        params = dict(
+            graph_bytes=8 * MB,
+            props_bytes=2 * MB,
+            iterations=3,
+            gpu_flops_per_iter=1e6,
+            uses_worklist=False,
+        )
+        params.update(overrides)
+        return graph_app("t/g", **params)
+
+    def test_structure(self):
+        pipeline = self.make()
+        kernels = pipeline.stages_of_kind(StageKind.GPU_KERNEL)
+        assert len(kernels) == 3
+        # Per iteration: one flag d2h + one CPU check; plus 2 h2d + final d2h.
+        assert len(pipeline.copy_stages) == 2 + 3 + 1
+        assert len(pipeline.stages_of_kind(StageKind.CPU)) == 3
+
+    def test_worklist_is_gpu_temporary(self):
+        pipeline = self.make(uses_worklist=True, worklist_bytes=1 * MB)
+        assert pipeline.buffers["worklist"].temporary
+
+    def test_kernels_use_graph_pattern(self):
+        pipeline = self.make()
+        kernel = pipeline.stages_of_kind(StageKind.GPU_KERNEL)[0]
+        assert kernel.reads[0].pattern is AccessPattern.GRAPH
+
+    def test_outer_loop_structure(self):
+        # Kernel -> flag copy -> CPU check -> next kernel (Section V-A).
+        pipeline = self.make()
+        check = pipeline.stage("check_0")
+        assert check.depends_on == ("d2h_flag_0",)
+        second = pipeline.stage("traverse_1")
+        assert second.depends_on == ("check_0",)
+
+    def test_pagefault_metadata(self):
+        pipeline = self.make(pagefault_heavy=True)
+        assert pipeline.metadata["pagefault_heavy"]
+
+
+class TestStencilApp:
+    def test_pingpong_buffers(self):
+        pipeline = stencil_app(
+            "t/s", grid_bytes=4 * MB, iterations=4, flops_per_sweep=1e6
+        )
+        sweeps = pipeline.stages_of_kind(StageKind.GPU_KERNEL)
+        assert len(sweeps) == 4
+        # Alternating read/write targets.
+        first, second = sweeps[0], sweeps[1]
+        assert first.reads[0].buffer != second.reads[0].buffer
+        assert first.writes[0].buffer == second.reads[0].buffer
+
+    def test_stencil_pattern_used(self):
+        pipeline = stencil_app(
+            "t/s", grid_bytes=4 * MB, iterations=1, flops_per_sweep=1e6
+        )
+        sweep = pipeline.stages_of_kind(StageKind.GPU_KERNEL)[0]
+        assert sweep.reads[0].pattern is AccessPattern.STENCIL
+
+    def test_temporaries_optional(self):
+        with_temp = stencil_app(
+            "t/s", grid_bytes=4 * MB, iterations=1, flops_per_sweep=1e6,
+            temp_bytes=2 * MB,
+        )
+        assert "temps" in with_temp.buffers
+        assert with_temp.buffers["temps"].temporary
+
+    def test_single_iteration_chunkable(self):
+        pipeline = stencil_app(
+            "t/s", grid_bytes=4 * MB, iterations=1, flops_per_sweep=1e6
+        )
+        sweep = pipeline.stages_of_kind(StageKind.GPU_KERNEL)[0]
+        assert sweep.chunkable
+
+    def test_multi_iteration_not_chunkable(self):
+        pipeline = stencil_app(
+            "t/s", grid_bytes=4 * MB, iterations=3, flops_per_sweep=1e6
+        )
+        for sweep in pipeline.stages_of_kind(StageKind.GPU_KERNEL):
+            assert not sweep.chunkable
+
+
+class TestDenseApp:
+    def test_structure(self):
+        pipeline = dense_app(
+            "t/d",
+            input_bytes={"a": 4 * MB, "b": 4 * MB},
+            output_bytes={"c": 4 * MB},
+            kernel_flops=[1e9],
+        )
+        assert len(pipeline.copy_stages) == 3  # 2 h2d + 1 d2h
+        assert len(pipeline.stages_of_kind(StageKind.GPU_KERNEL)) == 1
+
+    def test_multi_kernel(self):
+        pipeline = dense_app(
+            "t/d",
+            input_bytes={"a": 4 * MB},
+            output_bytes={"c": 4 * MB},
+            kernel_flops=[1e9, 2e9, 3e9],
+        )
+        assert pipeline.total_flops == pytest.approx(6e9)
+
+    def test_cpu_post_stage_migratable(self):
+        pipeline = dense_app(
+            "t/d",
+            input_bytes={"a": 4 * MB},
+            output_bytes={"c": 4 * MB},
+            kernel_flops=[1e9],
+            cpu_post_flops=1e6,
+        )
+        post = pipeline.stage("post")
+        assert post.kind is StageKind.CPU
+        assert post.migratable
+
+
+class TestOffloadLoopApp:
+    def make(self, **overrides):
+        params = dict(
+            data_bytes=8 * MB,
+            state_bytes=64 * 1024,
+            result_bytes=2 * MB,
+            iterations=3,
+            gpu_flops_per_iter=1e7,
+            cpu_flops_per_iter=1e5,
+        )
+        params.update(overrides)
+        return offload_loop_app("t/o", **params)
+
+    def test_state_copied_back_each_iteration(self):
+        pipeline = self.make()
+        # Initial state h2d + one per iteration except the last.
+        state_copies = [
+            s for s in pipeline.copy_stages if "state" in (s.src or "")
+        ]
+        assert len(state_copies) == 1 + 2
+
+    def test_broadcast_state_not_chunked(self):
+        from repro.pipeline.transforms import chunk_stages
+
+        chunked = chunk_stages(self.make(), 4)
+        kernels = [s for s in chunked.stages if s.logical_name == "map_0"]
+        for kernel in kernels:
+            state_reads = [
+                a for a in kernel.reads if a.buffer == "state_dev"
+            ]
+            assert state_reads[0].region.span == pytest.approx(1.0)
+
+    def test_cpu_result_fraction(self):
+        pipeline = self.make(cpu_result_fraction=0.25)
+        update = pipeline.stage("update_0")
+        result_reads = [a for a in update.reads if a.buffer == "result"]
+        assert result_reads[0].fraction == 0.25
+
+    def test_extra_d2h_creates_partials(self):
+        pipeline = self.make(extra_d2h_bytes=1 * MB)
+        assert "partials" in pipeline.buffers
+        assert any("partials" in (s.src or "") for s in pipeline.copy_stages)
+
+    def test_limited_copy_drops_all_copies(self):
+        limited = remove_copies(self.make(extra_d2h_bytes=1 * MB))
+        assert limited.copy_stages == ()

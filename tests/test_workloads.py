@@ -1,0 +1,158 @@
+"""Tests for the benchmark registry and suite definitions."""
+
+import pytest
+
+from repro.experiments.table2 import PAPER_TABLE2, matches_paper, run as table2_run
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.stage import StageKind
+from repro.pipeline.transforms import remove_copies
+from repro.workloads.registry import (
+    SUITES,
+    all_specs,
+    get,
+    simulatable_specs,
+    suite_specs,
+)
+from repro.workloads.spec import BenchmarkSpec
+
+
+class TestRegistry:
+    def test_fifty_eight_benchmarks(self):
+        assert len(all_specs()) == 58
+
+    def test_forty_six_simulatable(self):
+        assert len(simulatable_specs()) == 46
+
+    def test_suite_sizes(self):
+        assert len(suite_specs("lonestar")) == 14
+        assert len(suite_specs("pannotia")) == 10
+        assert len(suite_specs("parboil")) == 12
+        assert len(suite_specs("rodinia")) == 22
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(KeyError):
+            suite_specs("spec2006")
+
+    def test_get_by_full_name(self):
+        assert get("rodinia/kmeans").name == "kmeans"
+
+    def test_get_by_unambiguous_short_name(self):
+        assert get("kmeans").suite == "rodinia"
+
+    def test_get_ambiguous_short_name_rejected(self):
+        with pytest.raises(KeyError, match="ambiguous"):
+            get("bfs")  # exists in lonestar, parboil, rodinia
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(KeyError, match="no benchmark"):
+            get("rodinia/quake")
+
+    def test_unique_full_names(self):
+        names = [s.full_name for s in all_specs()]
+        assert len(names) == len(set(names))
+
+
+class TestTableTwoFlags:
+    def test_counts_match_paper_exactly(self):
+        rows = table2_run()
+        assert matches_paper(rows), [
+            (r.suite, r.as_tuple(), PAPER_TABLE2[r.suite]) for r in rows
+        ]
+
+    def test_flag_implications(self):
+        for spec in all_specs():
+            if spec.pipe_parallel:
+                assert spec.pc_comm, spec.full_name
+            if spec.sw_queue:
+                assert spec.pc_comm, spec.full_name
+
+    def test_unsimulated_benchmarks_raise_on_pipeline(self):
+        spec = get("rodinia/nn")
+        assert not spec.simulatable
+        with pytest.raises(ValueError, match="no pipeline model"):
+            spec.pipeline()
+
+
+class TestSpecValidation:
+    def test_pipe_parallel_requires_pc_comm(self):
+        with pytest.raises(ValueError, match="pipe_parallel"):
+            BenchmarkSpec(
+                name="x", suite="s", description="d",
+                pc_comm=False, pipe_parallel=True, regular_pc=False,
+                irregular=False, sw_queue=False,
+            )
+
+    def test_sw_queue_requires_pc_comm(self):
+        with pytest.raises(ValueError, match="sw_queue"):
+            BenchmarkSpec(
+                name="x", suite="s", description="d",
+                pc_comm=False, pipe_parallel=False, regular_pc=False,
+                irregular=False, sw_queue=True,
+            )
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(
+                name="", suite="s", description="d",
+                pc_comm=True, pipe_parallel=True, regular_pc=True,
+                irregular=False, sw_queue=False,
+            )
+
+
+class TestAllPipelinesBuild:
+    @pytest.mark.parametrize(
+        "name", [s.full_name for s in simulatable_specs()]
+    )
+    def test_pipeline_builds_and_validates(self, name):
+        spec = get(name)
+        pipeline = spec.pipeline()
+        assert isinstance(pipeline, Pipeline)
+        assert not pipeline.limited_copy
+        assert pipeline.total_flops > 0
+        assert len(pipeline.copy_stages) > 0  # copy versions use copies
+
+    @pytest.mark.parametrize(
+        "name", [s.full_name for s in simulatable_specs()]
+    )
+    def test_limited_copy_port_builds(self, name):
+        pipeline = get(name).pipeline()
+        limited = remove_copies(pipeline)
+        assert limited.limited_copy
+        assert limited.footprint_bytes <= pipeline.footprint_bytes
+
+    def test_gpu_does_majority_of_flops(self):
+        # The paper: the GPU completes the majority of work.
+        for spec in simulatable_specs():
+            by_kind = spec.pipeline().flops_by_kind()
+            assert by_kind[StageKind.GPU_KERNEL] > by_kind[StageKind.CPU], (
+                spec.full_name
+            )
+
+    def test_footprints_in_paper_range(self):
+        # Copy versions: at least 6MB, usually larger (Section III-D).
+        from repro.units import MB
+
+        for spec in simulatable_specs():
+            footprint = spec.pipeline().footprint_bytes
+            assert footprint >= 6 * MB, spec.full_name
+
+    def test_bh_keeps_its_copies(self):
+        # Lonestar bh is the one benchmark whose copies cannot be removed.
+        pipeline = get("lonestar/bh").pipeline()
+        limited = remove_copies(pipeline)
+        assert len(limited.copy_stages) == len(pipeline.copy_stages)
+
+    def test_most_benchmarks_lose_copies(self):
+        reduced = 0
+        for spec in simulatable_specs():
+            pipeline = spec.pipeline()
+            limited = remove_copies(pipeline)
+            if len(limited.copy_stages) < len(pipeline.copy_stages):
+                reduced += 1
+        assert reduced == 45  # all but lonestar/bh
+
+    def test_pagefault_heavy_marked_in_metadata(self):
+        for name in ("rodinia/srad", "rodinia/heartwall", "pannotia/pr_spmv"):
+            spec = get(name)
+            assert spec.pagefault_heavy
+            assert spec.pipeline().metadata.get("pagefault_heavy")

@@ -9,6 +9,7 @@ Section V-C programmer aids (footprint report, roofline).
 Run with::
 
     python examples/optimization_advisor.py [--benchmark rodinia/srad]
+                                            [--jobs 2] [--no-cache]
 """
 
 import argparse
@@ -27,6 +28,7 @@ from repro.core.reuse import concurrent_footprint_report
 from repro.core.roofline import memory_bound_fraction, roofline_report
 from repro.experiments.advisor import advise
 from repro.experiments.runner import SweepRunner
+from repro.sim.resultcache import default_cache_dir
 from repro.sim.timeline import render_timeline
 from repro.units import MB, bytes_to_human
 
@@ -35,10 +37,18 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="rodinia/srad")
     parser.add_argument("--scale", type=float, default=1 / 32)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="sweep workers (0 = all cores, 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent result cache")
     args = parser.parse_args()
 
     spec = workloads.get(args.benchmark)
-    runner = SweepRunner(options=SimOptions(scale=args.scale))
+    runner = SweepRunner(
+        options=SimOptions(scale=args.scale),
+        parallel=args.jobs,
+        cache_dir=None if args.no_cache else default_cache_dir(),
+    )
 
     # 1. Ranked recommendations.
     report = advise(spec, runner)

@@ -1,0 +1,66 @@
+"""The parallel, persistently-cached sweep the whole harness is built on.
+
+Runs the full 46x2 copy / limited-copy sweep twice with the same options:
+the first pass fans simulations out over a process pool and stores every
+result in the content-addressed cache; the second pass simulates nothing
+and replays the sweep from disk, bit-identically.  The printed metrics
+lines show launched runs, cache hits, wall time, and the estimated serial
+time saved.
+
+Run with::
+
+    python examples/parallel_sweep.py [--scale 0.03125] [--jobs 8]
+                                      [--cache-dir /tmp/my-sweeps]
+"""
+
+import argparse
+import tempfile
+
+from repro import SimOptions
+from repro.core.metrics import geomean
+from repro.experiments.runner import SweepRunner
+from repro.sim.serialize import results_identical
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1 / 32)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="sweep workers (0 = all cores, 1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: a fresh temp dir, "
+                        "so both passes are self-contained)")
+    args = parser.parse_args()
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-sweep-")
+    options = SimOptions(scale=args.scale)
+
+    print(f"cold sweep (cache: {cache_dir}) ...")
+    cold = SweepRunner(options=options, parallel=args.jobs,
+                       cache_dir=cache_dir, verbose=True)
+    first = cold.sweep()
+
+    print("warm sweep (same options, fresh runner) ...")
+    warm = SweepRunner(options=options, parallel=args.jobs,
+                       cache_dir=cache_dir, verbose=True)
+    second = warm.sweep()
+
+    assert warm.last_metrics.launched == 0, "warm sweep should simulate nothing"
+    assert all(
+        results_identical(first[name].copy, second[name].copy)
+        and results_identical(first[name].limited, second[name].limited)
+        for name in first
+    ), "cached results must be bit-identical"
+
+    ratios = [
+        pair.limited.roi_s / pair.copy.roi_s
+        for pair in first.values()
+        if pair.copy.roi_s
+    ]
+    print(f"\n{len(first)} benchmarks; geomean limited-copy/copy run time "
+          f"{geomean(ratios):.3f} (paper: ~0.93)")
+    print("warm sweep served 100% from cache, bit-identical to the cold run")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,10 @@ paper builds its argument from.
 Run with::
 
     python examples/suite_characterization.py --suite pannotia [--scale 0.03125]
+                                              [--jobs 8] [--no-cache]
+
+The sweep fans out over ``--jobs`` worker processes and persists results to
+the shared cache, so a re-run at the same scale prints instantly.
 """
 
 import argparse
@@ -16,6 +20,7 @@ from repro import AccessClass, SimOptions, classify_result
 from repro.core.metrics import geomean
 from repro.experiments.runner import SweepRunner
 from repro.sim.hierarchy import Component
+from repro.sim.resultcache import default_cache_dir
 from repro.workloads.registry import SUITES, suite_specs
 
 
@@ -23,16 +28,26 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--suite", choices=SUITES, default="pannotia")
     parser.add_argument("--scale", type=float, default=1 / 32)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="sweep workers (0 = all cores, 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent result cache")
     args = parser.parse_args()
 
     specs = [s for s in suite_specs(args.suite) if s.simulatable]
-    runner = SweepRunner(options=SimOptions(scale=args.scale))
+    runner = SweepRunner(
+        options=SimOptions(scale=args.scale),
+        parallel=args.jobs,
+        cache_dir=None if args.no_cache else default_cache_dir(),
+        verbose=True,
+    )
+    runs = runner.sweep(specs)
 
     print(f"{'Benchmark':24s} {'lc/copy':>8s} {'copy acc':>9s} "
           f"{'required':>9s} {'spills':>7s} {'contention':>11s}")
     ratios = []
     for spec in specs:
-        pair = runner.pair(spec)
+        pair = runs[spec.full_name]
         ratio = pair.limited.roi_s / pair.copy.roi_s
         ratios.append(ratio)
         accesses = pair.copy.offchip_by_component()

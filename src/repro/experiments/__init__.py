@@ -11,8 +11,15 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    parallel,
     table2,
     validation,
+)
+from repro.experiments.parallel import (
+    SweepMetrics,
+    SweepTask,
+    resolve_jobs,
+    run_tasks,
 )
 from repro.experiments.runner import (
     COPY,
@@ -28,7 +35,9 @@ __all__ = [
     "COPY",
     "DEFAULT_BENCH_SCALE",
     "LIMITED",
+    "SweepMetrics",
     "SweepRunner",
+    "SweepTask",
     "ablations",
     "advisor",
     "compare",
@@ -40,6 +49,9 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "parallel",
+    "resolve_jobs",
+    "run_tasks",
     "table2",
     "validation",
 ]

@@ -1,0 +1,230 @@
+"""Parallel, cache-backed execution of the 46x2 benchmark sweep.
+
+The sweep is embarrassingly parallel: each (benchmark, version) simulation
+is independent, so this module fans tasks out over a
+``concurrent.futures.ProcessPoolExecutor`` and funnels finished results
+through the persistent :class:`~repro.sim.resultcache.ResultCache`.  The
+parent process owns the cache: it resolves hits before dispatch and stores
+fresh results as workers complete, so workers never touch the filesystem.
+
+Most benchmark specs hold closure-based pipeline builders that cannot be
+pickled, so tasks cross the process boundary as ``suite/name`` strings and
+are re-resolved from the registry inside the worker.  Unregistered specs
+(e.g. user-defined benchmarks) are pickled directly when possible and fall
+back to in-parent serial execution otherwise — the sweep always completes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.system import SystemConfig
+from repro.pipeline.transforms import remove_copies
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.resultcache import ResultCache, cache_key
+from repro.sim.results import SimResult
+from repro.workloads import registry
+from repro.workloads.spec import BenchmarkSpec
+
+COPY = "copy"
+LIMITED = "limited-copy"
+VERSIONS = (COPY, LIMITED)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a jobs request: None -> 1 (serial), <=0 -> all cores."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One (benchmark, version) simulation to perform."""
+
+    spec: BenchmarkSpec
+    version: str
+
+    @property
+    def full_name(self) -> str:
+        return self.spec.full_name
+
+
+@dataclass
+class SweepMetrics:
+    """What one sweep invocation did, for the per-sweep progress line."""
+
+    total: int = 0
+    launched: int = 0
+    cache_hits: int = 0
+    memo_hits: int = 0
+    jobs: int = 1
+    wall_s: float = 0.0
+    #: Sum of per-simulation wall times (fresh runs measured, cache hits
+    #: restored from their stored time) — what a serial, uncached sweep of
+    #: the same tasks would have cost.
+    serial_estimate_s: float = 0.0
+
+    @property
+    def speedup_estimate(self) -> float:
+        return self.serial_estimate_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def merge(self, other: "SweepMetrics") -> None:
+        self.total += other.total
+        self.launched += other.launched
+        self.cache_hits += other.cache_hits
+        self.memo_hits += other.memo_hits
+        self.wall_s += other.wall_s
+        self.serial_estimate_s += other.serial_estimate_s
+
+    def format_line(self) -> str:
+        parts = [
+            f"{self.total} runs",
+            f"{self.launched} simulated",
+            f"{self.cache_hits} cache hits",
+        ]
+        if self.memo_hits:
+            parts.append(f"{self.memo_hits} memo hits")
+        line = (
+            f"sweep: {', '.join(parts)} in {self.wall_s:.1f}s "
+            f"[jobs={self.jobs}]"
+        )
+        if self.serial_estimate_s > 0:
+            line += (
+                f"; serial estimate {self.serial_estimate_s:.1f}s"
+                f" ({self.speedup_estimate:.1f}x)"
+            )
+        return line
+
+
+def _system_for(
+    version: str, discrete: SystemConfig, heterogeneous: SystemConfig
+) -> SystemConfig:
+    if version not in VERSIONS:
+        raise ValueError(f"unknown version {version!r}; choose from {VERSIONS}")
+    return discrete if version == COPY else heterogeneous
+
+
+def _simulate_version(
+    spec: BenchmarkSpec,
+    version: str,
+    system: SystemConfig,
+    options: SimOptions,
+) -> Tuple[SimResult, float]:
+    start = time.perf_counter()
+    pipeline = spec.pipeline()
+    if version == LIMITED:
+        pipeline = remove_copies(pipeline)
+    result = simulate(pipeline, system, options)
+    return result, time.perf_counter() - start
+
+
+def _worker(
+    payload: Tuple[str, Optional[bytes], str, SystemConfig, SimOptions],
+) -> Tuple[str, str, SimResult, float]:
+    """Top-level (picklable) task body executed in a pool worker."""
+    full_name, spec_blob, version, system, options = payload
+    if spec_blob is None:
+        spec = registry.get(full_name)
+    else:
+        spec = pickle.loads(spec_blob)
+    result, wall_s = _simulate_version(spec, version, system, options)
+    return full_name, version, result, wall_s
+
+
+def _dispatchable(task: SweepTask) -> Optional[bytes]:
+    """How to ship a task's spec to a worker: None means "resolve by name
+    from the registry"; bytes is a pickled unregistered spec.  Raises when
+    the spec cannot be pickled at all (caller runs it in-parent)."""
+    try:
+        registered = registry.get(task.full_name) is task.spec
+    except KeyError:
+        registered = False
+    if registered:
+        return None
+    return pickle.dumps(task.spec)
+
+
+def run_tasks(
+    tasks: Sequence[SweepTask],
+    *,
+    discrete: SystemConfig,
+    heterogeneous: SystemConfig,
+    options: SimOptions,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[Dict[Tuple[str, str], SimResult], SweepMetrics]:
+    """Execute a batch of sweep tasks, parallel and cache-aware.
+
+    Returns results keyed by ``(full_name, version)`` plus the metrics of
+    this invocation.  With ``jobs`` resolving to 1 the whole batch runs
+    serially in-process (bit-identical to the parallel path — simulations
+    are deterministic and workers run the same code).
+    """
+    jobs = resolve_jobs(jobs)
+    metrics = SweepMetrics(total=len(tasks), jobs=jobs)
+    results: Dict[Tuple[str, str], SimResult] = {}
+    start = time.perf_counter()
+
+    pending: List[Tuple[SweepTask, str]] = []
+    for task in tasks:
+        system = _system_for(task.version, discrete, heterogeneous)
+        key = cache_key(task.spec, task.version, system, options)
+        entry = cache.load(key) if cache is not None else None
+        if entry is not None:
+            results[(task.full_name, task.version)] = entry.result
+            metrics.cache_hits += 1
+            metrics.serial_estimate_s += entry.sim_wall_s
+        else:
+            pending.append((task, key))
+
+    def finish(task: SweepTask, key: str, result: SimResult, wall_s: float) -> None:
+        results[(task.full_name, task.version)] = result
+        metrics.launched += 1
+        metrics.serial_estimate_s += wall_s
+        if cache is not None:
+            cache.store(key, result, sim_wall_s=wall_s)
+
+    local: List[Tuple[SweepTask, str]] = []
+    remote: List[Tuple[SweepTask, str, Optional[bytes]]] = []
+    if jobs > 1 and len(pending) > 1:
+        for task, key in pending:
+            try:
+                remote.append((task, key, _dispatchable(task)))
+            except Exception:
+                local.append((task, key))
+    else:
+        local = pending
+
+    if remote:
+        workers = min(jobs, len(remote))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for task, key, spec_blob in remote:
+                system = _system_for(task.version, discrete, heterogeneous)
+                future = pool.submit(
+                    _worker, (task.full_name, spec_blob, task.version, system, options)
+                )
+                futures[future] = (task, key)
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, key = futures[future]
+                    _, _, result, wall_s = future.result()
+                    finish(task, key, result, wall_s)
+
+    for task, key in local:
+        system = _system_for(task.version, discrete, heterogeneous)
+        result, wall_s = _simulate_version(task.spec, task.version, system, options)
+        finish(task, key, result, wall_s)
+
+    metrics.wall_s = time.perf_counter() - start
+    return results, metrics

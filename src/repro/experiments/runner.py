@@ -3,34 +3,60 @@
 Every figure of Section IV/V is computed from the same 46-benchmark sweep:
 the copy version on the discrete GPU system and the limited-copy version on
 the heterogeneous processor.  The runner memoizes simulation results so the
-per-figure harnesses (and the pytest benchmarks) reuse one sweep.
+per-figure harnesses (and the pytest benchmarks) reuse one sweep, fans
+misses out over a process pool (``parallel=``), and can persist results
+across invocations through the content-addressed cache of
+:mod:`repro.sim.resultcache` (``cache_dir=``).
+
+Both the in-memory memo and the persistent cache key on the full
+(:class:`BenchmarkSpec`, version, :class:`SystemConfig`,
+:class:`SimOptions`, engine tag) content hash, so runners at different
+``scale`` (or any other option) never collide — even when they share a
+cache directory.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.config.system import (
     SystemConfig,
     discrete_gpu_system,
     heterogeneous_processor,
 )
-from repro.pipeline.transforms import remove_copies
-from repro.sim.engine import SimOptions, simulate
+from repro.experiments.parallel import (
+    COPY,
+    LIMITED,
+    VERSIONS,
+    SweepMetrics,
+    SweepTask,
+    resolve_jobs,
+    run_tasks,
+)
+from repro.sim.engine import SimOptions
+from repro.sim.resultcache import ResultCache, cache_key
 from repro.sim.results import SimResult
 from repro.workloads.registry import simulatable_specs
 from repro.workloads.spec import BenchmarkSpec
+
+__all__ = [
+    "BenchmarkRun",
+    "COPY",
+    "DEFAULT_BENCH_SCALE",
+    "LIMITED",
+    "SweepRunner",
+    "VERSIONS",
+    "default_runner",
+]
 
 #: Default footprint/cache scale for the benchmark harness.  1/32 keeps a
 #: full 46x2 sweep around a minute while preserving the footprint-to-cache
 #: ratios that drive every figure (see DESIGN.md); pass --scale to the CLI
 #: (or a custom SimOptions) for paper-scale runs.
 DEFAULT_BENCH_SCALE = 1 / 32
-
-COPY = "copy"
-LIMITED = "limited-copy"
-VERSIONS = (COPY, LIMITED)
 
 
 @dataclass(frozen=True)
@@ -43,48 +69,119 @@ class BenchmarkRun:
 
 
 class SweepRunner:
-    """Runs and caches the copy / limited-copy sweep."""
+    """Runs and caches the copy / limited-copy sweep.
+
+    Args:
+        options: simulation options shared by every run of the sweep.
+        discrete / heterogeneous: the two machines; Table I defaults.
+        parallel: process-pool width for sweep fan-out.  ``None`` or 1 runs
+            serially in-process; 0 means all cores (``os.cpu_count()``);
+            N > 1 uses N workers.  Results are bit-identical either way.
+        cache_dir: directory of the persistent result cache; ``None``
+            disables persistence (in-memory memoization only).  Pass
+            :func:`repro.sim.resultcache.default_cache_dir` for the shared
+            ``~/.cache/repro-sweeps`` location.
+        verbose: print a one-line progress/metrics summary per sweep to
+            stderr.
+    """
 
     def __init__(
         self,
         options: Optional[SimOptions] = None,
         discrete: Optional[SystemConfig] = None,
         heterogeneous: Optional[SystemConfig] = None,
+        parallel: Optional[int] = None,
+        cache_dir: Union[None, str, Path] = None,
+        verbose: bool = False,
     ):
         self.options = options or SimOptions(scale=DEFAULT_BENCH_SCALE)
         self.discrete = discrete or discrete_gpu_system()
         self.heterogeneous = heterogeneous or heterogeneous_processor()
-        self._cache: Dict[Tuple[str, str], SimResult] = {}
+        self.jobs = resolve_jobs(parallel)
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.verbose = verbose
+        #: Memo keyed by the *content hash* of each run — includes every
+        #: SimOptions field (scale, seed, ...), the system, and the engine
+        #: tag, so changing ``self.options`` can never serve stale results.
+        self._memo: Dict[str, SimResult] = {}
+        self.last_metrics: Optional[SweepMetrics] = None
 
-    def run(self, spec: BenchmarkSpec, version: str) -> SimResult:
-        """Simulate one benchmark version (cached)."""
+    # -- keys ----------------------------------------------------------------
+
+    def _system_for(self, version: str) -> SystemConfig:
+        return self.discrete if version == COPY else self.heterogeneous
+
+    def _key(self, spec: BenchmarkSpec, version: str) -> str:
         if version not in VERSIONS:
             raise ValueError(f"unknown version {version!r}; choose from {VERSIONS}")
-        key = (spec.full_name, version)
-        if key not in self._cache:
-            pipeline = spec.pipeline()
-            if version == COPY:
-                result = simulate(pipeline, self.discrete, self.options)
+        return cache_key(spec, version, self._system_for(version), self.options)
+
+    # -- execution -----------------------------------------------------------
+
+    def _ensure(
+        self, pairs: List[Tuple[BenchmarkSpec, str]]
+    ) -> Dict[Tuple[str, str], str]:
+        """Fill the memo for every (spec, version); returns their keys."""
+        keys: Dict[Tuple[str, str], str] = {}
+        tasks: List[Tuple[SweepTask, str]] = []
+        memo_hits = 0
+        for spec, version in pairs:
+            key = self._key(spec, version)
+            keys[(spec.full_name, version)] = key
+            if key in self._memo:
+                memo_hits += 1
             else:
-                result = simulate(
-                    remove_copies(pipeline), self.heterogeneous, self.options
-                )
-            self._cache[key] = result
-        return self._cache[key]
+                tasks.append((SweepTask(spec, version), key))
+        results, metrics = run_tasks(
+            [task for task, _ in tasks],
+            discrete=self.discrete,
+            heterogeneous=self.heterogeneous,
+            options=self.options,
+            jobs=self.jobs,
+            cache=self.cache,
+        )
+        for task, key in tasks:
+            self._memo[key] = results[(task.full_name, task.version)]
+        metrics.total += memo_hits
+        metrics.memo_hits = memo_hits
+        self.last_metrics = metrics
+        if self.verbose and metrics.total > 2:
+            print(metrics.format_line(), file=sys.stderr)
+        return keys
+
+    def run(self, spec: BenchmarkSpec, version: str) -> SimResult:
+        """Simulate one benchmark version (memoized + persistently cached)."""
+        keys = self._ensure([(spec, version)])
+        return self._memo[keys[(spec.full_name, version)]]
 
     def pair(self, spec: BenchmarkSpec) -> BenchmarkRun:
+        keys = self._ensure([(spec, COPY), (spec, LIMITED)])
         return BenchmarkRun(
             spec=spec,
-            copy=self.run(spec, COPY),
-            limited=self.run(spec, LIMITED),
+            copy=self._memo[keys[(spec.full_name, COPY)]],
+            limited=self._memo[keys[(spec.full_name, LIMITED)]],
         )
 
     def sweep(
         self, specs: Optional[Iterable[BenchmarkSpec]] = None
     ) -> Dict[str, BenchmarkRun]:
-        """Run the full (or a restricted) sweep; keyed by full benchmark name."""
+        """Run the full (or a restricted) sweep; keyed by full benchmark name.
+
+        Misses fan out over the process pool when ``parallel`` allows; a
+        repeat invocation against a warm persistent cache simulates nothing.
+        """
         specs = list(specs) if specs is not None else list(simulatable_specs())
-        return {spec.full_name: self.pair(spec) for spec in specs}
+        keys = self._ensure(
+            [(spec, version) for spec in specs for version in VERSIONS]
+        )
+        return {
+            spec.full_name: BenchmarkRun(
+                spec=spec,
+                copy=self._memo[keys[(spec.full_name, COPY)]],
+                limited=self._memo[keys[(spec.full_name, LIMITED)]],
+            )
+            for spec in specs
+        }
 
 
 _default_runner: Optional[SweepRunner] = None

@@ -9,7 +9,7 @@ from repro.sim.dram_row import (
     row_buffer_stats,
     stream_efficiency,
 )
-from repro.sim.engine import Engine, SimOptions, simulate
+from repro.sim.engine import ENGINE_VERSION, Engine, SimOptions, simulate
 from repro.sim.hierarchy import (
     COMPONENT_BY_CODE,
     CacheSystem,
@@ -34,7 +34,20 @@ from repro.sim.results import (
     merge_intervals,
     total_time,
 )
-from repro.sim.serialize import result_to_dict, result_to_json, summary_from_json
+from repro.sim.resultcache import (
+    CacheEntry,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+)
+from repro.sim.serialize import (
+    result_from_dict,
+    result_to_dict,
+    result_to_full_dict,
+    result_to_json,
+    results_identical,
+    summary_from_json,
+)
 from repro.sim.timeline import render_stage_table, render_timeline, utilization_summary
 from repro.sim.timing import StageTiming, compute_stage_timing
 
@@ -42,6 +55,7 @@ __all__ = [
     "BandwidthShare",
     "BusOp",
     "COMPONENT_BY_CODE",
+    "CacheEntry",
     "CacheStats",
     "CacheSystem",
     "CoherenceStats",
@@ -50,6 +64,7 @@ __all__ = [
     "CopyTiming",
     "Domain",
     "DomainResult",
+    "ENGINE_VERSION",
     "Engine",
     "FaultResult",
     "Interval",
@@ -59,6 +74,7 @@ __all__ = [
     "OccupancyLimiter",
     "OccupancyReport",
     "OffChipLog",
+    "ResultCache",
     "RowBufferStats",
     "PageFaultModel",
     "SetAssocCache",
@@ -67,7 +83,9 @@ __all__ = [
     "StageRecord",
     "StageTiming",
     "activity_breakdown",
+    "cache_key",
     "compute_occupancy",
+    "default_cache_dir",
     "compute_stage_timing",
     "derive_stage_occupancy",
     "effective_efficiency",
@@ -77,8 +95,11 @@ __all__ = [
     "row_buffer_stats",
     "stream_efficiency",
     "render_timeline",
+    "result_from_dict",
     "result_to_dict",
+    "result_to_full_dict",
     "result_to_json",
+    "results_identical",
     "simulate",
     "summary_from_json",
     "total_time",

@@ -33,6 +33,14 @@ _COMPONENT_OF_KIND = {
     StageKind.COPY: Component.COPY,
 }
 
+#: Version tag of the simulation semantics.  Persistently cached results
+#: (:mod:`repro.sim.resultcache`) embed this tag in their content hash, so
+#: bumping it invalidates every archived sweep at once.  Bump whenever a
+#: change to the engine, trace generation, cache/DRAM/PCIe models, or the
+#: workload pipeline builders alters simulation output for unchanged
+#: (pipeline, system, options) inputs.
+ENGINE_VERSION = "repro-sim/1"
+
 
 @dataclass(frozen=True)
 class SimOptions:

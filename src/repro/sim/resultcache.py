@@ -1,0 +1,214 @@
+"""Persistent, content-addressed cache of simulation results.
+
+Every figure of Sections IV/V is derived from the same 46x2 sweep, so the
+sweep harness (:mod:`repro.experiments.parallel`) stores each finished
+:class:`~repro.sim.results.SimResult` on disk keyed by a stable hash of
+everything that determines its value:
+
+* the :class:`~repro.workloads.spec.BenchmarkSpec` (all metadata fields;
+  the ``build`` callable is excluded — pipeline-builder changes are covered
+  by the engine version tag),
+* the sweep version string (``copy`` / ``limited-copy``),
+* the full :class:`~repro.config.system.SystemConfig`,
+* the full :class:`~repro.sim.engine.SimOptions` (including ``scale`` and
+  ``seed`` — two sweeps at different scales never collide), and
+* :data:`repro.sim.engine.ENGINE_VERSION`, so bumping the tag invalidates
+  every archived result at once.
+
+Keys are the SHA-256 of the canonical JSON (sorted keys, no whitespace) of
+those inputs, which makes them independent of dict insertion order, process
+hash randomization, and restarts.  Entries round-trip through the lossless
+``repro.sim_result/v2-full`` schema of :mod:`repro.sim.serialize` and are
+gzip-compressed; writes are atomic (temp file + ``os.replace``), so
+concurrent sweep workers sharing one cache directory cannot corrupt it.
+
+The default location is ``~/.cache/repro-sweeps``, overridable with the
+``REPRO_CACHE_DIR`` environment variable or an explicit ``cache_dir``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.config.system import SystemConfig
+from repro.sim.engine import ENGINE_VERSION, SimOptions
+from repro.sim.results import SimResult
+from repro.sim.serialize import result_from_dict, result_to_full_dict
+from repro.workloads.spec import BenchmarkSpec
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Schema tag of the on-disk entry envelope.
+CACHE_SCHEMA = "repro.sweep_cache/v1"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sweeps``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-sweeps"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce configs to JSON-able data with a stable, order-free form.
+
+    Dataclasses become field-name dicts, enums their values, tuples lists;
+    dict keys are stringified so the canonical JSON dump (sorted keys) is
+    insensitive to insertion order.  Unsupported types raise ``TypeError``
+    rather than hashing something unstable like a ``repr`` with object ids.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return canonical(value.value)
+    if isinstance(value, dict):
+        return {str(key): canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for cache keying")
+
+
+def spec_fingerprint(spec: BenchmarkSpec) -> Dict[str, Any]:
+    """Hashable view of a benchmark spec (every field but ``build``)."""
+    return {
+        f.name: canonical(getattr(spec, f.name))
+        for f in dataclasses.fields(spec)
+        if f.name != "build"
+    }
+
+
+def cache_key(
+    spec: BenchmarkSpec,
+    version: str,
+    system: SystemConfig,
+    options: SimOptions,
+    engine_version: str = ENGINE_VERSION,
+) -> str:
+    """Stable SHA-256 key of one (benchmark, version, system, options) run."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "engine": engine_version,
+        "benchmark": spec_fingerprint(spec),
+        "version": version,
+        "system": canonical(system),
+        "options": canonical(options),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """A stored result plus the wall time its simulation originally took.
+
+    ``sim_wall_s`` lets sweep metrics estimate the serial time a cache hit
+    saved without re-running anything.
+    """
+
+    result: SimResult
+    sim_wall_s: float
+
+
+class ResultCache:
+    """Filesystem-backed result store; one gzip-JSON file per key."""
+
+    def __init__(self, root: Union[None, str, Path] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small for big sweeps.
+        return self.root / key[:2] / f"{key}.json.gz"
+
+    def load(self, key: str) -> Optional[CacheEntry]:
+        """Return the stored entry, or None on miss or unreadable file.
+
+        Corrupt or stale-schema files are treated as misses (and removed) so
+        a damaged cache degrades to re-simulation, never to an error.
+        """
+        path = self.path_for(key)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != CACHE_SCHEMA or payload.get("key") != key:
+                raise ValueError("stale or foreign cache entry")
+            return CacheEntry(
+                result=result_from_dict(payload["result"]),
+                sim_wall_s=float(payload.get("sim_wall_s", 0.0)),
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def store(self, key: str, result: SimResult, sim_wall_s: float = 0.0) -> Path:
+        """Atomically persist one result under ``key``; returns its path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "engine": ENGINE_VERSION,
+            "sim_wall_s": sim_wall_s,
+            "result": result_to_full_dict(result),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                # Level 1: the log arrays compress ~4x either way, and cache
+                # writes must not dominate small-scale sweeps.
+                with gzip.open(raw, "wt", encoding="utf-8", compresslevel=1) as handle:
+                    json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    def entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return iter(())
+        return self.root.glob("*/*.json.gz")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

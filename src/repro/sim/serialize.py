@@ -3,6 +3,15 @@
 Lets users archive sweeps, diff runs across library versions, or feed the
 numbers into external plotting tools.  The off-chip log is summarized (not
 dumped raw) to keep files small; pass ``include_log=True`` to keep it.
+
+Two schemas are emitted:
+
+* ``repro.sim_result/v1`` — the human-oriented summary
+  (:func:`result_to_dict`), derived metrics included, not reconstructible.
+* ``repro.sim_result/v2-full`` — the lossless form
+  (:func:`result_to_full_dict` / :func:`result_from_dict`) that round-trips
+  a :class:`SimResult` bit-for-bit; the persistent sweep cache
+  (:mod:`repro.sim.resultcache`) is built on it.
 """
 
 from __future__ import annotations
@@ -13,13 +22,18 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.sim.hierarchy import Component
-from repro.sim.results import SimResult
+from repro.sim.results import Interval, SimResult, StageRecord
+from repro.sim.timing import StageTiming
+from repro.pipeline.stage import StageKind
+
+SCHEMA_V1 = "repro.sim_result/v1"
+SCHEMA_FULL = "repro.sim_result/v2-full"
 
 
 def result_to_dict(result: SimResult, include_log: bool = False) -> Dict[str, Any]:
     """Convert a :class:`SimResult` to plain JSON-compatible data."""
     payload: Dict[str, Any] = {
-        "schema": "repro.sim_result/v1",
+        "schema": SCHEMA_V1,
         "pipeline": result.pipeline_name,
         "system": result.system_kind,
         "roi_s": result.roi_s,
@@ -89,6 +103,118 @@ def summary_from_json(text: str) -> Dict[str, Any]:
     """
     payload = json.loads(text)
     schema = payload.get("schema")
-    if schema != "repro.sim_result/v1":
+    if schema not in (SCHEMA_V1, SCHEMA_FULL):
         raise ValueError(f"unsupported schema {schema!r}")
     return payload
+
+
+# -- lossless round trip ------------------------------------------------------
+
+
+def _interval_pairs(intervals) -> list:
+    return [[iv.start, iv.end] for iv in intervals]
+
+
+def result_to_full_dict(result: SimResult) -> Dict[str, Any]:
+    """Lossless ``repro.sim_result/v2-full`` form of a result.
+
+    Supersets the v1 summary with everything :func:`result_from_dict` needs
+    to rebuild the :class:`SimResult` exactly: busy/launch intervals, the raw
+    off-chip log, per-component touched-block sets, FLOP attribution, and
+    per-stage ordinals.  JSON floats round-trip exactly (``repr`` encoding),
+    so serialize-then-load yields bit-identical results.
+    """
+    payload = result_to_dict(result, include_log=True)
+    payload["schema"] = SCHEMA_FULL
+    for entry, record in zip(payload["stages"], result.stages):
+        entry["ordinal"] = record.ordinal
+        entry["flops"] = record.flops
+    payload["busy"] = {
+        component.value: _interval_pairs(intervals)
+        for component, intervals in result.busy.items()
+    }
+    payload["launch_intervals"] = _interval_pairs(result.launch_intervals)
+    payload["touched_blocks"] = {
+        component.value: blocks.tolist()
+        for component, blocks in result.touched_blocks.items()
+    }
+    payload["flops_by_component"] = {
+        component.value: flops
+        for component, flops in result.flops_by_component.items()
+    }
+    return payload
+
+
+def result_from_dict(payload: Dict[str, Any]) -> SimResult:
+    """Rebuild a :class:`SimResult` from its ``v2-full`` dictionary."""
+    schema = payload.get("schema")
+    if schema != SCHEMA_FULL:
+        raise ValueError(
+            f"cannot reconstruct a result from schema {schema!r}; "
+            f"only {SCHEMA_FULL!r} archives are lossless"
+        )
+    stages = tuple(
+        StageRecord(
+            name=entry["name"],
+            logical=entry["logical"],
+            kind=StageKind(entry["kind"]),
+            component=Component(entry["component"]),
+            ordinal=int(entry["ordinal"]),
+            start_s=entry["start_s"],
+            end_s=entry["end_s"],
+            timing=StageTiming(
+                compute_s=entry["compute_s"],
+                memory_s=entry["memory_s"],
+                latency_s=entry["latency_s"],
+                fault_s=entry["fault_s"],
+            ),
+            requests=int(entry["requests"]),
+            offchip_reads=int(entry["offchip_reads"]),
+            offchip_writes=int(entry["offchip_writes"]),
+            onchip_transfers=int(entry["onchip_transfers"]),
+            faults=int(entry["faults"]),
+            flops=float(entry["flops"]),
+        )
+        for entry in payload["stages"]
+    )
+    log = payload.get("log", {})
+    return SimResult(
+        pipeline_name=payload["pipeline"],
+        system_kind=payload["system"],
+        roi_s=payload["roi_s"],
+        stages=stages,
+        busy={
+            Component(name): [Interval(start, end) for start, end in pairs]
+            for name, pairs in payload["busy"].items()
+        },
+        launch_intervals=[
+            Interval(start, end) for start, end in payload["launch_intervals"]
+        ],
+        line_bytes=int(payload["line_bytes"]),
+        log_blocks=np.asarray(log.get("blocks", []), dtype=np.int64),
+        log_is_write=np.asarray(log.get("is_write", []), dtype=bool),
+        log_stage=np.asarray(log.get("stage", []), dtype=np.int32),
+        log_component=np.asarray(log.get("component", []), dtype=np.int8),
+        logical_of_ordinal=np.asarray(
+            log.get("logical_of_ordinal", []), dtype=np.int32
+        ),
+        touched_blocks={
+            Component(name): np.asarray(blocks, dtype=np.int64)
+            for name, blocks in payload["touched_blocks"].items()
+        },
+        total_flops=float(payload["total_flops"]),
+        flops_by_component={
+            Component(name): float(flops)
+            for name, flops in payload["flops_by_component"].items()
+        },
+    )
+
+
+def results_identical(a: SimResult, b: SimResult) -> bool:
+    """True when two results are identical in every serialized field.
+
+    The comparison goes through :func:`result_to_full_dict`, so it covers
+    schedules, timings, logs, and footprints — the equality the differential
+    (serial vs parallel vs cached) tests rely on.
+    """
+    return result_to_full_dict(a) == result_to_full_dict(b)

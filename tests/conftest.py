@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config.system import discrete_gpu_system, heterogeneous_processor
@@ -14,6 +16,34 @@ from repro.units import MB
 #: Scale used throughout the test suite: big enough for cache behaviour to
 #: be non-trivial, small enough that a full pipeline simulates in ~10ms.
 TINY_SCALE = 1 / 128
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/*.json figure fixtures instead of "
+        "comparing against them",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_sweep_cache(tmp_path_factory):
+    """Point the persistent sweep cache at a throwaway directory.
+
+    Anything in the suite that falls back to the default cache location
+    (CLI commands under test, runners built without an explicit dir) must
+    not read from or write to the developer's real ~/.cache/repro-sweeps.
+    """
+    cache_dir = tmp_path_factory.mktemp("repro-sweep-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

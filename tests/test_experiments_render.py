@@ -68,10 +68,10 @@ def test_table2_render_is_stable():
 
 def test_figures_use_shared_runner_cache(runner, subset):
     # Rendering two figures should reuse the same simulation results.
-    before = dict(runner._cache)
+    before = dict(runner._memo)
     fig4.render(runner, subset)
-    after_one = dict(runner._cache)
+    after_one = dict(runner._memo)
     fig5.render(runner, subset)
-    after_two = dict(runner._cache)
+    after_two = dict(runner._memo)
     assert set(after_one) == set(after_two)  # no new simulations for fig5
     assert set(before) <= set(after_one)

@@ -1,0 +1,208 @@
+"""Differential tests: parallel vs serial sweeps and the persistent cache.
+
+The parallel path must be a pure performance feature: bit-identical
+results to the serial path, and a second run against a warm cache must be
+served entirely from disk (0 simulations executed).
+"""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.experiments.parallel import COPY, LIMITED, resolve_jobs
+from repro.experiments.runner import SweepRunner
+from repro.sim.engine import ENGINE_VERSION, SimOptions, simulate
+from repro.sim.resultcache import ResultCache, cache_key
+from repro.sim.serialize import result_to_full_dict, results_identical
+from repro.workloads.registry import get
+
+from tests.conftest import TINY_SCALE, build_offload_pipeline
+
+#: Sampled sweep subset: one benchmark per suite, small enough that the
+#: whole differential suite stays in the tier-1 budget.
+SAMPLE = ("lonestar/bfs", "pannotia/mis", "parboil/spmv", "rodinia/kmeans")
+
+
+def _options(scale: float = TINY_SCALE) -> SimOptions:
+    return SimOptions(scale=scale, seed=3)
+
+
+@pytest.fixture()
+def sample_specs():
+    return [get(name) for name in SAMPLE]
+
+
+class TestResolveJobs:
+    def test_none_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+
+class TestParallelMatchesSerial:
+    def test_bit_identical_results(self, sample_specs):
+        serial = SweepRunner(options=_options())
+        parallel = SweepRunner(options=_options(), parallel=2)
+        serial_runs = serial.sweep(sample_specs)
+        parallel_runs = parallel.sweep(sample_specs)
+        assert serial_runs.keys() == parallel_runs.keys()
+        for name in serial_runs:
+            assert results_identical(
+                serial_runs[name].copy, parallel_runs[name].copy
+            ), f"{name} copy version diverged"
+            assert results_identical(
+                serial_runs[name].limited, parallel_runs[name].limited
+            ), f"{name} limited version diverged"
+
+    def test_parallel_metrics_account_every_run(self, sample_specs):
+        runner = SweepRunner(options=_options(), parallel=2)
+        runner.sweep(sample_specs)
+        metrics = runner.last_metrics
+        assert metrics.total == 2 * len(sample_specs)
+        assert metrics.launched == 2 * len(sample_specs)
+        assert metrics.cache_hits == 0
+        assert metrics.wall_s > 0
+        assert metrics.serial_estimate_s > 0
+
+    def test_unregistered_spec_still_sweeps_in_parallel(self):
+        """Specs outside the registry are handled (pickled or run locally)."""
+        from repro.workloads.spec import BenchmarkSpec
+
+        spec = BenchmarkSpec(
+            name="offload",
+            suite="testsuite",
+            description="synthetic",
+            pc_comm=True,
+            pipe_parallel=True,
+            regular_pc=True,
+            irregular=False,
+            sw_queue=False,
+            build=build_offload_pipeline,
+        )
+        serial = SweepRunner(options=_options()).pair(spec)
+        parallel = SweepRunner(options=_options(), parallel=2).pair(spec)
+        assert results_identical(serial.copy, parallel.copy)
+        assert results_identical(serial.limited, parallel.limited)
+
+
+class TestPersistentCache:
+    def test_second_run_served_entirely_from_cache(self, tmp_path, sample_specs):
+        cold = SweepRunner(options=_options(), cache_dir=tmp_path)
+        cold_runs = cold.sweep(sample_specs)
+        assert cold.last_metrics.launched == 2 * len(sample_specs)
+
+        warm = SweepRunner(options=_options(), cache_dir=tmp_path, parallel=2)
+        warm_runs = warm.sweep(sample_specs)
+        metrics = warm.last_metrics
+        assert metrics.launched == 0, "warm sweep must execute 0 simulations"
+        assert metrics.cache_hits == 2 * len(sample_specs)
+        for name in cold_runs:
+            assert results_identical(cold_runs[name].copy, warm_runs[name].copy)
+            assert results_identical(
+                cold_runs[name].limited, warm_runs[name].limited
+            )
+
+    def test_cache_round_trip_is_lossless(self, tmp_path, discrete):
+        pipeline = build_offload_pipeline()
+        result = simulate(pipeline, discrete, _options())
+        cache = ResultCache(tmp_path)
+        cache.store("a" * 64, result, sim_wall_s=1.5)
+        entry = cache.load("a" * 64)
+        assert entry is not None
+        assert entry.sim_wall_s == 1.5
+        assert results_identical(entry.result, result)
+        # Key fields survive exactly, including numpy log dtypes.
+        assert entry.result.log_blocks.dtype == result.log_blocks.dtype
+        assert entry.result.offchip_accesses() == result.offchip_accesses()
+        assert result_to_full_dict(entry.result) == result_to_full_dict(result)
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path, sample_specs):
+        spec = sample_specs[0]
+        runner = SweepRunner(options=_options(), cache_dir=tmp_path)
+        first = runner.run(spec, COPY)
+        key = cache_key(spec, COPY, runner.discrete, runner.options)
+        path = ResultCache(tmp_path).path_for(key)
+        assert path.is_file()
+        path.write_bytes(b"not gzip at all")
+        rerun = SweepRunner(options=_options(), cache_dir=tmp_path)
+        second = rerun.run(spec, COPY)
+        assert rerun.last_metrics.launched == 1  # miss -> re-simulated
+        assert results_identical(first, second)
+
+    def test_truncated_gzip_entry_degrades_to_miss(self, tmp_path, sample_specs):
+        spec = sample_specs[0]
+        runner = SweepRunner(options=_options(), cache_dir=tmp_path)
+        runner.run(spec, COPY)
+        key = cache_key(spec, COPY, runner.discrete, runner.options)
+        path = ResultCache(tmp_path).path_for(key)
+        path.write_bytes(gzip.compress(b'{"schema": "something else"}'))
+        rerun = SweepRunner(options=_options(), cache_dir=tmp_path)
+        rerun.run(spec, COPY)
+        assert rerun.last_metrics.launched == 1
+
+
+class TestScaleKeying:
+    """Regression: sweeps at different --scale must never collide."""
+
+    def test_shared_cache_dir_keeps_scales_apart(self, tmp_path, sample_specs):
+        spec = sample_specs[0]
+        small = SweepRunner(options=_options(scale=1 / 128), cache_dir=tmp_path)
+        large = SweepRunner(options=_options(scale=1 / 64), cache_dir=tmp_path)
+        small_result = small.run(spec, COPY)
+        large_result = large.run(spec, COPY)
+        # The second runner must not be served the first runner's result.
+        assert large.last_metrics.launched == 1
+        assert not results_identical(small_result, large_result)
+        assert len(ResultCache(tmp_path)) == 2
+
+    def test_cache_key_includes_every_sim_option(self, sample_specs):
+        spec = sample_specs[0]
+        runner = SweepRunner(options=_options())
+        base = cache_key(spec, COPY, runner.discrete, runner.options)
+        for changed in (
+            SimOptions(scale=TINY_SCALE / 2, seed=3),
+            SimOptions(scale=TINY_SCALE, seed=4),
+            SimOptions(scale=TINY_SCALE, seed=3, line_bytes=64),
+            SimOptions(scale=TINY_SCALE, seed=3, collect_log=False),
+            SimOptions(scale=TINY_SCALE, seed=3, dram_row_model=True),
+        ):
+            assert cache_key(spec, COPY, runner.discrete, changed) != base
+
+    def test_key_changes_with_version_system_and_engine_tag(self, sample_specs):
+        spec = sample_specs[0]
+        runner = SweepRunner(options=_options())
+        base = cache_key(spec, COPY, runner.discrete, runner.options)
+        assert cache_key(spec, LIMITED, runner.discrete, runner.options) != base
+        assert (
+            cache_key(spec, COPY, runner.heterogeneous, runner.options) != base
+        )
+        assert (
+            cache_key(
+                spec,
+                COPY,
+                runner.discrete,
+                runner.options,
+                engine_version=ENGINE_VERSION + "-next",
+            )
+            != base
+        )
+
+    def test_memo_respects_options_change(self, sample_specs):
+        """Regression: the in-memory memo used to ignore SimOptions.scale."""
+        spec = sample_specs[0]
+        runner = SweepRunner(options=_options(scale=1 / 128))
+        first = runner.run(spec, COPY)
+        runner.options = SimOptions(scale=1 / 64, seed=3)
+        second = runner.run(spec, COPY)
+        assert not results_identical(first, second)
+        # And switching back serves the original from the memo, unchanged.
+        runner.options = SimOptions(scale=1 / 128, seed=3)
+        third = runner.run(spec, COPY)
+        assert runner.last_metrics.launched == 0
+        assert results_identical(first, third)

@@ -1,0 +1,215 @@
+"""Diagnostic records and the rule catalogue of the static pipeline linter.
+
+Every finding the linter can emit is declared here as a :class:`Rule` with a
+stable identifier (``RPL001`` ...), a default severity, and a one-line
+summary.  Rule identifiers are part of the tool's public contract: tests,
+CI gates, and suppression lists key on them, so identifiers are never
+reused or renumbered (retired rules are tombstoned instead).
+
+The numbering encodes the rule family:
+
+* ``RPL0xx`` — hazard/race detection over the stage DAG,
+* ``RPL1xx`` — memory-space and copy consistency,
+* ``RPL2xx`` — Table II spec-consistency (declared vs. derived flags).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  Order: INFO < WARNING < ERROR."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def at_least(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a severity name (accepts the common ``warn`` shorthand)."""
+        normalized = text.strip().lower()
+        if normalized == "warn":
+            normalized = "warning"
+        for severity in cls:
+            if severity.value == normalized:
+                return severity
+        options = ", ".join(s.value for s in cls)
+        raise ValueError(f"unknown severity {text!r}; choose from {options}")
+
+
+_SEVERITY_RANK: Dict[Severity, int] = {
+    Severity.INFO: 0,
+    Severity.WARNING: 1,
+    Severity.ERROR: 2,
+}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One diagnostic the linter can raise."""
+
+    id: str
+    severity: Severity
+    summary: str
+
+    def __post_init__(self) -> None:
+        if not self.id.startswith("RPL"):
+            raise ValueError(f"rule id {self.id!r} must start with 'RPL'")
+
+
+#: The rule catalogue.  See docs/LINTING.md for the full write-up of each
+#: rule with a minimal triggering example and the paper section it guards.
+RULES: Dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        # -- family 0: hazards (paper Section V-A: overlap transforms) -------
+        Rule("RPL001", Severity.ERROR,
+             "read-after-write hazard between concurrent stages"),
+        Rule("RPL002", Severity.ERROR,
+             "write-after-write hazard between concurrent stages"),
+        Rule("RPL003", Severity.ERROR,
+             "write-after-read hazard between concurrent stages"),
+        # -- family 1: memory spaces and copies (Section III-D) --------------
+        Rule("RPL101", Severity.ERROR,
+             "stage touches a buffer in the wrong memory space"),
+        Rule("RPL102", Severity.ERROR,
+             "copy stage endpoints are inconsistent"),
+        Rule("RPL103", Severity.WARNING,
+             "dead mirror buffer survives the limited-copy port"),
+        Rule("RPL104", Severity.WARNING,
+             "buffer is never accessed by any stage"),
+        Rule("RPL105", Severity.WARNING,
+             "redundant stage has no observable effect"),
+        Rule("RPL106", Severity.WARNING,
+             "misaligned CPU allocation lacks the Table/Fig. 5 flag"),
+        # -- family 2: Table II spec consistency ------------------------------
+        Rule("RPL201", Severity.WARNING,
+             "declared pc_comm flag contradicts pipeline structure"),
+        Rule("RPL202", Severity.WARNING,
+             "declared pipe_parallel flag contradicts pipeline structure"),
+        Rule("RPL203", Severity.WARNING,
+             "declared regular_pc flag contradicts pipeline structure"),
+        Rule("RPL204", Severity.WARNING,
+             "declared sw_queue flag contradicts pipeline structure"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule firing at a location.
+
+    Attributes:
+        rule: stable rule identifier (key into :data:`RULES`).
+        severity: effective severity (defaults to the rule's).
+        pipeline: name of the pipeline the finding is about.
+        message: what is wrong, concretely.
+        stage: offending stage name, when the finding anchors to a stage.
+        buffer: offending buffer name, when it anchors to a buffer.
+        hint: how to fix it, when the linter can tell.
+    """
+
+    rule: str
+    severity: Severity
+    pipeline: str
+    message: str
+    stage: Optional[str] = None
+    buffer: Optional[str] = None
+    hint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown rule id {self.rule!r}")
+
+    @property
+    def location(self) -> str:
+        parts = [self.pipeline]
+        if self.stage is not None:
+            parts.append(f"stage {self.stage}")
+        if self.buffer is not None:
+            parts.append(f"buffer {self.buffer}")
+        return ": ".join(parts)
+
+    def format(self) -> str:
+        line = (
+            f"{self.rule} [{self.severity.value}] {self.location}: {self.message}"
+        )
+        if self.hint:
+            line += f"  (hint: {self.hint})"
+        return line
+
+
+def make_diagnostic(
+    rule_id: str,
+    pipeline: str,
+    message: str,
+    *,
+    stage: Optional[str] = None,
+    buffer: Optional[str] = None,
+    hint: Optional[str] = None,
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, defaulting severity from the catalogue."""
+    rule = RULES[rule_id]
+    return Diagnostic(
+        rule=rule_id,
+        severity=severity if severity is not None else rule.severity,
+        pipeline=pipeline,
+        message=message,
+        stage=stage,
+        buffer=buffer,
+        hint=hint,
+    )
+
+
+@dataclass
+class LintReport:
+    """The findings of one lint invocation over one or more pipelines."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    pipelines: List[str] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "LintReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        for name in other.pipelines:
+            if name not in self.pipelines:
+                self.pipelines.append(name)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def at_least(self, threshold: Severity) -> Tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity.at_least(threshold)
+        )
+
+    def clean(self, threshold: Severity = Severity.ERROR) -> bool:
+        return not self.at_least(threshold)
+
+    def counts(self) -> Dict[str, int]:
+        totals = {severity.value: 0 for severity in Severity}
+        for diagnostic in self.diagnostics:
+            totals[diagnostic.severity.value] += 1
+        return totals
+
+    def rules_fired(self) -> Tuple[str, ...]:
+        return tuple(sorted({d.rule for d in self.diagnostics}))

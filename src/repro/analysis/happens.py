@@ -1,0 +1,64 @@
+"""Happens-before analysis over a pipeline's stage DAG.
+
+The hazard rules need to know, for every pair of stages, whether the DAG
+orders them.  This module computes the transitive closure of ``depends_on``
+once (in topological order, so each stage's ancestor set is the union of
+its direct dependencies' sets) and answers ordering and concurrency
+queries from it.  Region-overlap helpers for fractional buffer regions
+live here too, shared by the hazard and copy-consistency rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Tuple
+
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.stage import BufferAccess, Region, Stage
+
+
+class HappensBefore:
+    """Transitive ordering of a pipeline's stages."""
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        self.pipeline = pipeline
+        self._ancestors: Dict[str, FrozenSet[str]] = {}
+        for stage in pipeline.topological_order():
+            closure = set(stage.depends_on)
+            for dep in stage.depends_on:
+                closure.update(self._ancestors[dep])
+            self._ancestors[stage.name] = frozenset(closure)
+
+    def ancestors(self, stage: str) -> FrozenSet[str]:
+        """Names of every stage that must complete before ``stage`` starts."""
+        return self._ancestors[stage]
+
+    def ordered(self, a: str, b: str) -> bool:
+        """True when the DAG orders ``a`` and ``b`` (either direction)."""
+        return a in self._ancestors[b] or b in self._ancestors[a]
+
+    def concurrent(self, a: str, b: str) -> bool:
+        return a != b and not self.ordered(a, b)
+
+    def concurrent_pairs(self) -> Iterator[Tuple[Stage, Stage]]:
+        """Every unordered pair of distinct stages, in insertion order.
+
+        The first element of each pair is the stage that appears earlier in
+        the pipeline's insertion order — the author's intended sequential
+        order — which the hazard rules use to classify read/write conflicts
+        as RAW versus WAR.
+        """
+        stages = self.pipeline.stages
+        for i, first in enumerate(stages):
+            for second in stages[i + 1:]:
+                if self.concurrent(first.name, second.name):
+                    yield first, second
+
+
+def regions_overlap(a: Region, b: Region) -> bool:
+    """Whether two fractional regions share any sub-range."""
+    return a.start < b.end and b.start < a.end
+
+
+def accesses_overlap(a: BufferAccess, b: BufferAccess) -> bool:
+    """Whether two accesses of the *same* buffer can touch common bytes."""
+    return regions_overlap(a.region, b.region)

@@ -1,0 +1,93 @@
+"""Hazard/race detection: RPL001 (RAW), RPL002 (WAW), RPL003 (WAR).
+
+The overlap transforms (:func:`repro.pipeline.transforms.fission_async_streams`,
+:func:`repro.pipeline.transforms.parallel_producer_consumer`) deliberately
+loosen dependency edges so previously bulk-synchronous stages can run
+concurrently — exactly the move that introduces data races when two
+unordered stages touch overlapping bytes of the same buffer and at least
+one writes (paper Section V-A).  These rules flag every such pair.
+
+Chunked software-pipeline lanes get special handling.  A chunking
+transform splits a stage into region-disjoint chunks, so chunked accesses
+in different lanes never overlap; accesses marked ``broadcast`` are *not*
+split (every lane touches the whole region) because the modelled runtime
+synchronizes them with in-memory data-ready flags.  A conflict between two
+chunk-product stages (``parent`` set on both) through a broadcast access is
+therefore covered by that flag protocol and suppressed, keeping
+``parallel_producer_consumer`` output clean while true races still fire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+from repro.analysis.happens import HappensBefore, accesses_overlap
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.stage import BufferAccess, Stage
+
+
+def _conflicts(
+    first: Stage, second: Stage
+) -> Iterator[Tuple[str, str, BufferAccess, BufferAccess]]:
+    """(rule, buffer, first_access, second_access) conflicts of one pair.
+
+    ``first`` precedes ``second`` in insertion order, which is the author's
+    intended sequential order; a read in ``first`` clobbered by a write in
+    ``second`` is therefore a WAR hazard, and a write in ``first`` consumed
+    by a read in ``second`` is a RAW hazard.
+    """
+    writes_by_buffer: Dict[str, List[BufferAccess]] = {}
+    for access in second.writes:
+        writes_by_buffer.setdefault(access.buffer, []).append(access)
+
+    for w1 in first.writes:
+        for w2 in writes_by_buffer.get(w1.buffer, ()):
+            if accesses_overlap(w1, w2):
+                yield "RPL002", w1.buffer, w1, w2
+        for r2 in second.reads:
+            if r2.buffer == w1.buffer and accesses_overlap(w1, r2):
+                yield "RPL001", w1.buffer, w1, r2
+    for r1 in first.reads:
+        for w2 in writes_by_buffer.get(r1.buffer, ()):
+            if accesses_overlap(r1, w2):
+                yield "RPL003", r1.buffer, r1, w2
+
+
+def _flag_protected(first: Stage, second: Stage, a: BufferAccess, b: BufferAccess) -> bool:
+    """Whether a conflict is covered by the chunked-lane flag protocol."""
+    both_chunked = first.parent is not None and second.parent is not None
+    return both_chunked and (a.broadcast or b.broadcast)
+
+
+_HAZARD_NAMES = {
+    "RPL001": "read-after-write",
+    "RPL002": "write-after-write",
+    "RPL003": "write-after-read",
+}
+
+
+def check_hazards(pipeline: Pipeline) -> List[Diagnostic]:
+    """Flag every unordered stage pair with overlapping conflicting accesses."""
+    findings: List[Diagnostic] = []
+    hb = HappensBefore(pipeline)
+    for first, second in hb.concurrent_pairs():
+        for rule, buffer, a, b in _conflicts(first, second):
+            if _flag_protected(first, second, a, b):
+                continue
+            findings.append(
+                make_diagnostic(
+                    rule,
+                    pipeline.name,
+                    f"{_HAZARD_NAMES[rule]} hazard on buffer {buffer!r}: "
+                    f"stages {first.name!r} and {second.name!r} are "
+                    f"unordered but touch overlapping regions "
+                    f"[{a.region.start:g}, {a.region.end:g}) and "
+                    f"[{b.region.start:g}, {b.region.end:g})",
+                    stage=second.name,
+                    buffer=buffer,
+                    hint=f"add a depends_on edge ordering {first.name!r} "
+                    f"and {second.name!r}, or make their regions disjoint",
+                )
+            )
+    return findings

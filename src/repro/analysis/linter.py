@@ -1,0 +1,106 @@
+"""Lint entry points: pipelines, benchmarks, and the whole registry.
+
+The linter is pure analysis — it never mutates a pipeline and never
+simulates.  Three entry points cover the common shapes:
+
+* :func:`lint_pipeline` — one pipeline, optionally against its spec.
+* :func:`lint_benchmark` — one spec: copy form, limited-copy form, and the
+  Table II spec-consistency family.
+* :func:`lint_registry` — every simulatable registered benchmark (the CI
+  gate).
+
+:func:`assert_lint_clean` is the post-transform assertion hook: transforms
+and their tests call it on freshly produced pipelines so a regression in
+``remove_copies`` / ``fission_async_streams`` / ``migrate_compute`` that
+introduces a hazard fails loudly at the source, and
+:class:`repro.experiments.runner.SweepRunner` uses it as a simulation
+pre-flight.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.analysis.diagnostics import LintReport, Severity
+from repro.analysis.hazards import check_hazards
+from repro.analysis.memspace import check_memspace_family
+from repro.analysis.spec_rules import check_spec_consistency
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.transforms import remove_copies
+from repro.workloads.registry import simulatable_specs
+from repro.workloads.spec import BenchmarkSpec
+
+
+class LintError(ValueError):
+    """Raised by :func:`assert_lint_clean` when findings reach the threshold."""
+
+    def __init__(self, report: LintReport, threshold: Severity) -> None:
+        self.report = report
+        self.threshold = threshold
+        offending = report.at_least(threshold)
+        details = "\n".join(f"  {d.format()}" for d in offending)
+        super().__init__(
+            f"pipeline lint failed: {len(offending)} finding(s) at or above "
+            f"{threshold.value}\n{details}"
+        )
+
+
+def lint_pipeline(
+    pipeline: Pipeline, spec: Optional[BenchmarkSpec] = None
+) -> LintReport:
+    """Run every applicable rule over one pipeline.
+
+    The hazard and memory-space families always run; the Table II family
+    runs only when a ``spec`` is supplied and the pipeline is the copy form
+    (the form Table II characterizes).
+    """
+    report = LintReport(pipelines=[pipeline.name])
+    report.extend(check_hazards(pipeline))
+    report.extend(check_memspace_family(pipeline, spec))
+    if spec is not None:
+        report.extend(check_spec_consistency(pipeline, spec))
+    return report
+
+
+def lint_benchmark(spec: BenchmarkSpec) -> LintReport:
+    """Lint a benchmark's copy and limited-copy forms plus its spec flags."""
+    pipeline = spec.pipeline()
+    report = lint_pipeline(pipeline, spec)
+    limited = remove_copies(pipeline)
+    limited_report = lint_pipeline(
+        limited.with_stages(
+            limited.stages, name=f"{pipeline.name} [limited-copy]"
+        ),
+        spec,
+    )
+    report.merge(limited_report)
+    return report
+
+
+def lint_registry(
+    specs: Optional[Iterable[BenchmarkSpec]] = None,
+) -> LintReport:
+    """Lint every simulatable benchmark (or an explicit subset)."""
+    chosen: List[BenchmarkSpec] = (
+        list(specs) if specs is not None else list(simulatable_specs())
+    )
+    report = LintReport()
+    for spec in chosen:
+        if not spec.simulatable:
+            continue
+        report.merge(lint_benchmark(spec))
+    return report
+
+
+def assert_lint_clean(
+    pipeline: Pipeline,
+    spec: Optional[BenchmarkSpec] = None,
+    *,
+    threshold: Severity = Severity.ERROR,
+) -> LintReport:
+    """Lint a pipeline and raise :class:`LintError` on findings at or above
+    ``threshold``.  Returns the (clean-enough) report otherwise."""
+    report = lint_pipeline(pipeline, spec)
+    if not report.clean(threshold):
+        raise LintError(report, threshold)
+    return report

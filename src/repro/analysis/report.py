@@ -1,0 +1,68 @@
+"""Reporters for lint findings: human-readable text and machine JSON.
+
+The JSON document is schema-stable (``repro.lint/v1``): CI consumes it, so
+field names and the meaning of ``clean`` only change with a version bump.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+
+LINT_SCHEMA = "repro.lint/v1"
+
+
+def render_text(report: LintReport, *, fail_on: Severity = Severity.ERROR) -> str:
+    """Human-readable findings, grouped by pipeline, with a summary line."""
+    lines: List[str] = []
+    by_pipeline: Dict[str, List[Diagnostic]] = {}
+    for diagnostic in report.diagnostics:
+        by_pipeline.setdefault(diagnostic.pipeline, []).append(diagnostic)
+    for pipeline in sorted(by_pipeline):
+        lines.append(f"{pipeline}:")
+        for diagnostic in by_pipeline[pipeline]:
+            lines.append(f"  {diagnostic.format()}")
+    counts = report.counts()
+    summary = ", ".join(
+        f"{counts[s.value]} {s.value}" for s in
+        (Severity.ERROR, Severity.WARNING, Severity.INFO)
+    )
+    verdict = "clean" if report.clean(fail_on) else "FAILED"
+    lines.append(
+        f"lint: {len(report.pipelines)} pipeline(s) checked, {summary} "
+        f"-> {verdict} (fail-on: {fail_on.value})"
+    )
+    return "\n".join(lines)
+
+
+def report_to_dict(
+    report: LintReport, *, fail_on: Severity = Severity.ERROR
+) -> Dict[str, Any]:
+    """The schema-stable document :func:`render_json` serializes."""
+    return {
+        "schema": LINT_SCHEMA,
+        "fail_on": fail_on.value,
+        "clean": report.clean(fail_on),
+        "pipelines": list(report.pipelines),
+        "counts": report.counts(),
+        "findings": [
+            {
+                "rule": d.rule,
+                "severity": d.severity.value,
+                "pipeline": d.pipeline,
+                "stage": d.stage,
+                "buffer": d.buffer,
+                "message": d.message,
+                "hint": d.hint,
+            }
+            for d in report.diagnostics
+        ],
+    }
+
+
+def render_json(
+    report: LintReport, *, fail_on: Severity = Severity.ERROR
+) -> str:
+    return json.dumps(report_to_dict(report, fail_on=fail_on), indent=2)

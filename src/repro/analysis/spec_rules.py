@@ -1,0 +1,174 @@
+"""Table II spec-consistency rules: RPL201 — RPL204.
+
+The Table II flags on :class:`repro.workloads.spec.BenchmarkSpec`
+(``pc_comm``, ``pipe_parallel``, ``regular_pc``, ``sw_queue``) are declared
+by hand.  This module derives what the pipeline's *structure* supports and
+reports drift, so a builder edit that silently changes a benchmark's
+producer-consumer character cannot leave the published table stale.
+
+The derivations are structural necessary conditions, not full semantics
+(whether stages *may* be overlapped is ultimately a property of the
+algorithm, e.g. mummer's serially-dependent disk streaming), so the rules
+fire only on contradictions the structure can actually prove:
+
+* ``pc_comm`` declared False while the pipeline has producer-consumer
+  edges, or declared True without any.
+* ``pipe_parallel`` declared True without any producer-consumer edge to
+  overlap, or declared False while stages are explicitly marked
+  ``chunkable`` (a machine-readable claim of exploitable parallelism).
+* ``regular_pc`` declared True without any regular-pattern P-C edge, or
+  declared False despite one.
+* ``sw_queue`` declared against the presence/absence of a worklist
+  structure: a device-resident temporary that the same GPU kernel both
+  reads (pops work) and writes with a RANDOM pattern (pushes work) — the
+  Lonestar worklist idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.patterns import IRREGULAR_PATTERNS, AccessPattern
+from repro.pipeline.stage import StageKind
+from repro.workloads.spec import BenchmarkSpec
+
+
+@dataclass(frozen=True)
+class DerivedFlags:
+    """Table II flags as derived from pipeline structure."""
+
+    pc_comm: bool
+    regular_pc: bool
+    sw_queue: bool
+    has_chunkable: bool
+
+
+def derive_flags(pipeline: Pipeline) -> DerivedFlags:
+    """Compute the structural Table II character of a pipeline."""
+    edges = pipeline.producer_consumer_edges()
+    consumer_patterns: Dict[str, Set[AccessPattern]] = {}
+    for stage in pipeline.stages:
+        for access in stage.reads:
+            consumer_patterns.setdefault(
+                f"{stage.name}:{access.buffer}", set()
+            ).add(access.pattern)
+    regular = False
+    for _producer, consumer, buffer in edges:
+        patterns = consumer_patterns.get(f"{consumer}:{buffer}", set())
+        if any(p not in IRREGULAR_PATTERNS for p in patterns):
+            regular = True
+            break
+
+    # A software worklist is consumed and refilled by the same kernel: the
+    # stage reads the queue and pushes new work with a RANDOM pattern.  A
+    # temporary only *built* by one kernel and *read* by another (e.g. the
+    # Barnes-Hut spatial tree) is an intermediate, not a queue.
+    worklist = False
+    for stage in pipeline.stages:
+        if stage.kind is not StageKind.GPU_KERNEL:
+            continue
+        random_written = {
+            a.buffer
+            for a in stage.writes
+            if pipeline.buffers[a.buffer].temporary
+            and a.pattern is AccessPattern.RANDOM
+        }
+        read = {a.buffer for a in stage.reads}
+        if random_written & read:
+            worklist = True
+            break
+
+    return DerivedFlags(
+        pc_comm=bool(edges),
+        regular_pc=regular,
+        sw_queue=worklist,
+        has_chunkable=any(s.chunkable for s in pipeline.stages),
+    )
+
+
+def check_spec_consistency(
+    pipeline: Pipeline, spec: BenchmarkSpec
+) -> List[Diagnostic]:
+    """Compare declared Table II flags against the derived structure.
+
+    Expects the copy-form pipeline (the form Table II characterizes);
+    limited-copy pipelines are skipped because copy removal deletes the
+    very P-C edges the flags describe.
+    """
+    if pipeline.limited_copy:
+        return []
+    derived = derive_flags(pipeline)
+    findings: List[Diagnostic] = []
+
+    def drift(rule: str, message: str, hint: str) -> None:
+        findings.append(
+            make_diagnostic(rule, pipeline.name, message, hint=hint)
+        )
+
+    if spec.pc_comm and not derived.pc_comm:
+        drift(
+            "RPL201",
+            f"spec {spec.full_name!r} declares pc_comm but the pipeline has "
+            f"no producer-consumer edge",
+            "clear pc_comm (and the flags that require it) or wire a stage "
+            "to read what an earlier stage writes",
+        )
+    elif derived.pc_comm and not spec.pc_comm:
+        drift(
+            "RPL201",
+            f"spec {spec.full_name!r} declares pc_comm=False but the "
+            f"pipeline has {len(pipeline.producer_consumer_edges())} "
+            f"producer-consumer edges",
+            "set pc_comm=True on the spec (Table II)",
+        )
+
+    if spec.pipe_parallel and not derived.pc_comm:
+        drift(
+            "RPL202",
+            f"spec {spec.full_name!r} declares pipe_parallel but there is "
+            f"no producer-consumer edge to overlap",
+            "clear pipe_parallel or introduce the stage communication it "
+            "claims",
+        )
+    elif not spec.pipe_parallel and derived.has_chunkable:
+        drift(
+            "RPL202",
+            f"spec {spec.full_name!r} declares pipe_parallel=False but the "
+            f"pipeline marks stages chunkable (explicitly parallelizable)",
+            "set pipe_parallel=True or drop the chunkable markers",
+        )
+
+    if spec.regular_pc and not derived.regular_pc:
+        drift(
+            "RPL203",
+            f"spec {spec.full_name!r} declares regular_pc but every "
+            f"producer-consumer edge is consumed irregularly",
+            "clear regular_pc, or check the consumer access patterns",
+        )
+    elif derived.regular_pc and not spec.regular_pc:
+        drift(
+            "RPL203",
+            f"spec {spec.full_name!r} declares regular_pc=False but the "
+            f"pipeline has regular producer-consumer constructs",
+            "set regular_pc=True on the spec (Table II)",
+        )
+
+    if spec.sw_queue and not derived.sw_queue:
+        drift(
+            "RPL204",
+            f"spec {spec.full_name!r} declares sw_queue but the pipeline "
+            f"has no worklist structure (RANDOM-written, GPU-read temporary)",
+            "clear sw_queue or model the worklist buffer",
+        )
+    elif derived.sw_queue and not spec.sw_queue:
+        drift(
+            "RPL204",
+            f"spec {spec.full_name!r} declares sw_queue=False but the "
+            f"pipeline contains a worklist structure",
+            "set sw_queue=True on the spec (Table II)",
+        )
+
+    return findings

@@ -10,7 +10,12 @@ Commands::
     repro validate                    # Section V-A/V-B validations
     repro ablations                   # ablation studies
     repro cache [--clear]             # inspect the persistent result cache
+    repro lint [BENCHMARK...]         # static pipeline verification
     repro all [--scale S]             # everything above
+
+``repro lint`` exits 0 when no finding reaches the ``--fail-on``
+threshold, 1 when one does, and 2 on usage errors (unknown benchmark or
+unreadable spec file) — see docs/LINTING.md.
 
 Every simulating command takes ``--jobs N`` (0 = all cores, 1 = serial) to
 fan the sweep out over a process pool, and ``--cache-dir``/``--no-cache``
@@ -73,6 +78,7 @@ def _runner(args: argparse.Namespace) -> SweepRunner:
         parallel=getattr(args, "jobs", 1),
         cache_dir=_cache_dir(args),
         verbose=True,
+        preflight=getattr(args, "preflight", False),
     )
 
 
@@ -172,6 +178,57 @@ def cmd_cache(args: argparse.Namespace) -> int:
         },
     ))
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        LintReport,
+        Severity,
+        lint_benchmark,
+        lint_pipeline,
+        lint_registry,
+        render_json,
+        render_text,
+    )
+
+    try:
+        fail_on = Severity.parse(args.fail_on)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    report = LintReport()
+    try:
+        if args.spec:
+            from repro.pipeline.transforms import remove_copies
+            from repro.workloads.loader import pipeline_from_file
+
+            pipeline = pipeline_from_file(args.spec)
+            report.merge(lint_pipeline(pipeline))
+            limited = remove_copies(pipeline)
+            report.merge(
+                lint_pipeline(
+                    limited.with_stages(
+                        limited.stages, name=f"{pipeline.name} [limited-copy]"
+                    )
+                )
+            )
+        elif args.benchmark:
+            for name in args.benchmark:
+                report.merge(lint_benchmark(get(name)))
+        else:
+            report.merge(lint_registry())
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(report, fail_on=fail_on))
+    else:
+        print(render_text(report, fail_on=fail_on))
+    return 0 if report.clean(fail_on) else 1
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -313,6 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable the persistent result cache",
         )
+        p.add_argument(
+            "--preflight",
+            action="store_true",
+            help="statically lint every pipeline before simulating and "
+            "refuse to run on error-level findings",
+        )
         p.set_defaults(handler=handler)
         return p
 
@@ -326,6 +389,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="benchmark name, e.g. rodinia/kmeans; omit to "
                        "run the whole sweep")
     add("table2", cmd_table2, "regenerate Table II")
+    lint_p = sub.add_parser(
+        "lint",
+        help="statically verify pipelines (hazards, memory spaces, Table II)",
+    )
+    lint_p.add_argument(
+        "benchmark", nargs="*", default=None,
+        help="benchmark names to lint; omit to lint the full registry")
+    lint_p.add_argument(
+        "--spec", default=None,
+        help="lint a declarative JSON workload file instead of registered "
+        "benchmarks")
+    lint_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    lint_p.add_argument(
+        "--fail-on", default="error", metavar="SEVERITY",
+        help="exit 1 when a finding at or above this severity exists "
+        "(error, warn, info; default: error)")
+    lint_p.set_defaults(handler=cmd_lint)
     cache_p = add("cache", cmd_cache, "inspect the persistent result cache")
     cache_p.add_argument("--clear", action="store_true",
                          help="delete every cached result")

@@ -83,6 +83,11 @@ class SweepRunner:
             ``~/.cache/repro-sweeps`` location.
         verbose: print a one-line progress/metrics summary per sweep to
             stderr.
+        preflight: statically lint every pipeline about to be simulated
+            (:func:`repro.analysis.assert_lint_clean`) and refuse to run on
+            error-level findings by raising
+            :class:`repro.analysis.LintError`.  In-memory memo hits skip
+            the check — they were vetted when first produced.
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class SweepRunner:
         parallel: Optional[int] = None,
         cache_dir: Union[None, str, Path] = None,
         verbose: bool = False,
+        preflight: bool = False,
     ):
         self.options = options or SimOptions(scale=DEFAULT_BENCH_SCALE)
         self.discrete = discrete or discrete_gpu_system()
@@ -100,6 +106,7 @@ class SweepRunner:
         self.jobs = resolve_jobs(parallel)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.verbose = verbose
+        self.preflight = preflight
         #: Memo keyed by the *content hash* of each run — includes every
         #: SimOptions field (scale, seed, ...), the system, and the engine
         #: tag, so changing ``self.options`` can never serve stale results.
@@ -132,6 +139,8 @@ class SweepRunner:
                 memo_hits += 1
             else:
                 tasks.append((SweepTask(spec, version), key))
+        if self.preflight:
+            self._preflight([task for task, _ in tasks])
         results, metrics = run_tasks(
             [task for task, _ in tasks],
             discrete=self.discrete,
@@ -148,6 +157,17 @@ class SweepRunner:
         if self.verbose and metrics.total > 2:
             print(metrics.format_line(), file=sys.stderr)
         return keys
+
+    def _preflight(self, tasks: List[SweepTask]) -> None:
+        """Refuse to simulate pipelines with error-level lint findings."""
+        from repro.analysis import assert_lint_clean
+        from repro.pipeline.transforms import remove_copies
+
+        for task in tasks:
+            pipeline = task.spec.pipeline()
+            if task.version == LIMITED:
+                pipeline = remove_copies(pipeline)
+            assert_lint_clean(pipeline, task.spec)
 
     def run(self, spec: BenchmarkSpec, version: str) -> SimResult:
         """Simulate one benchmark version (memoized + persistently cached)."""

@@ -34,7 +34,7 @@ def _as_access(value: AccessLike, default_pattern: AccessPattern) -> BufferAcces
 class PipelineBuilder:
     """Incrementally construct a :class:`repro.pipeline.graph.Pipeline`."""
 
-    def __init__(self, name: str, metadata: Optional[Dict[str, object]] = None):
+    def __init__(self, name: str, metadata: Optional[Dict[str, object]] = None) -> None:
         self._name = name
         self._buffers: Dict[str, Buffer] = {}
         self._stages: List[Stage] = []

@@ -17,7 +17,7 @@ The paper's implications section discusses two further transformations:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.config.components import GpuConfig
 from repro.pipeline.graph import Pipeline, PipelineError

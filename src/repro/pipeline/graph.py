@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.pipeline.buffers import Buffer, MemorySpace
+from repro.pipeline.buffers import Buffer
 from repro.pipeline.stage import Stage, StageKind
 
 
@@ -60,6 +60,21 @@ class Pipeline:
                 if access.buffer not in self.buffers:
                     raise PipelineError(
                         f"stage {stage.name!r} accesses unknown buffer {access.buffer!r}"
+                    )
+            if stage.kind is StageKind.COPY:
+                # A copy's declared endpoints and its accesses are two views
+                # of the same transfer; the deeper space/size checks live in
+                # repro.analysis, but a copy that does not even read its src
+                # or write its dst is structurally broken.
+                if stage.src not in {a.buffer for a in stage.reads}:
+                    raise PipelineError(
+                        f"copy stage {stage.name!r} does not read its "
+                        f"declared src {stage.src!r}"
+                    )
+                if stage.dst not in {a.buffer for a in stage.writes}:
+                    raise PipelineError(
+                        f"copy stage {stage.name!r} does not write its "
+                        f"declared dst {stage.dst!r}"
                     )
         self.topological_order()  # raises on cycles
 

@@ -10,7 +10,7 @@ buffers so the limited-copy porting transform can reason about them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.pipeline.patterns import AccessPattern

@@ -16,7 +16,7 @@ These model the source-level ports and optimizations the paper studies:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.pipeline.buffers import Buffer
 from repro.pipeline.graph import Pipeline, PipelineError

@@ -1,0 +1,18 @@
+"""RPL001: a consumer kernel races a producer it never waits for."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL001"
+STAGE = "reader"
+BUFFER = "x"
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl001_raw")
+    b.buffer("x", 1 * MB, temporary=True)
+    b.gpu_kernel("writer", flops=1e6, writes=[BufferAccess("x")])
+    # after=[] drops the implicit chain: reader no longer waits for writer.
+    b.gpu_kernel("reader", flops=1e6, reads=[BufferAccess("x")], after=[])
+    return b.build(), None

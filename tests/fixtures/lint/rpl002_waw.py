@@ -1,0 +1,19 @@
+"""RPL002: two unordered kernels write overlapping bytes of one buffer."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL002"
+STAGE = "second_writer"
+BUFFER = "x"
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl002_waw")
+    b.buffer("x", 1 * MB, temporary=True)
+    b.gpu_kernel("first_writer", flops=1e6, writes=[BufferAccess("x")])
+    b.gpu_kernel(
+        "second_writer", flops=1e6, writes=[BufferAccess("x")], after=[]
+    )
+    return b.build(), None

@@ -1,0 +1,21 @@
+"""RPL003: a later writer can clobber a buffer a reader is still using."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL003"
+STAGE = "writer"
+BUFFER = "x"
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl003_war")
+    b.buffer("x", 1 * MB, temporary=True)
+    b.buffer("y", 1 * MB, temporary=True)
+    b.gpu_kernel(
+        "reader", flops=1e6,
+        reads=[BufferAccess("x")], writes=[BufferAccess("y")],
+    )
+    b.gpu_kernel("writer", flops=1e6, writes=[BufferAccess("x")], after=[])
+    return b.build(), None

@@ -1,0 +1,21 @@
+"""RPL101: on the discrete system a GPU kernel reads a CPU allocation
+directly, with no interposed copy and no temporary marking."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL101"
+STAGE = "kernel"
+BUFFER = "host_data"
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl101_memory_space")
+    b.buffer("host_data", 4 * MB)  # MemorySpace.CPU, not temporary
+    b.buffer("out", 1 * MB, temporary=True)
+    b.gpu_kernel(
+        "kernel", flops=1e6,
+        reads=[BufferAccess("host_data")], writes=[BufferAccess("out")],
+    )
+    return b.build(), None

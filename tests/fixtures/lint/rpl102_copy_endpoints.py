@@ -1,0 +1,20 @@
+"""RPL102: a mirror-fill copy whose endpoints differ in size."""
+
+from repro.pipeline.buffers import MemorySpace
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL102"
+STAGE = "h2d_a_1"
+BUFFER = "a_half"
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl102_copy_endpoints")
+    b.buffer("a", 2 * MB)
+    # A hand-rolled "mirror" half the size of the allocation it replicates.
+    b.buffer("a_half", 1 * MB, space=MemorySpace.GPU)
+    b.copy_h2d("a", "a_half")
+    b.gpu_kernel("kernel", flops=1e6, reads=[BufferAccess("a_half")])
+    return b.build(), None

@@ -1,0 +1,23 @@
+"""RPL103: a mirror survives the limited-copy port although no residual
+copy pins it — its accesses should have been redirected to the host
+allocation."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL103"
+STAGE = None
+BUFFER = "data_dev"
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl103_dead_mirror")
+    b.buffer("data", 4 * MB)
+    b.mirror("data")
+    b.gpu_kernel("kernel", flops=1e6, reads=[BufferAccess("data_dev")])
+    b.cpu_stage("host_use", flops=1e5, reads=[BufferAccess("data")])
+    pipeline = b.build()
+    # Hand-mark the pipeline as ported without running remove_copies: the
+    # mirror is now dead weight that the port would have eliminated.
+    return pipeline.with_stages(pipeline.stages, limited_copy=True), None

@@ -1,0 +1,17 @@
+"""RPL104: a declared allocation no stage ever touches."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL104"
+STAGE = None
+BUFFER = "forgotten"
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl104_unused_buffer")
+    b.buffer("used", 1 * MB, temporary=True)
+    b.buffer("forgotten", 8 * MB)
+    b.gpu_kernel("kernel", flops=1e6, writes=[BufferAccess("used")])
+    return b.build(), None

@@ -1,0 +1,19 @@
+"""RPL105: a drain copy fills a host buffer that nothing reads and that is
+not a declared output."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL105"
+STAGE = "d2h_res"
+BUFFER = "res"
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl105_redundant_copy")  # no outputs declared
+    b.buffer("res", 1 * MB)
+    b.mirror("res")
+    b.gpu_kernel("kernel", flops=1e6, writes=[BufferAccess("res_dev")])
+    b.copy_d2h("res_dev", "res", name="d2h_res")
+    return b.build(), None

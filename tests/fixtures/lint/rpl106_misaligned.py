@@ -1,0 +1,32 @@
+"""RPL106: after copy removal the GPU touches a misaligned CPU allocation
+but the spec does not carry the Fig. 5 ``misaligned_limited_copy`` flag."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+from repro.workloads.spec import BenchmarkSpec
+
+RULE = "RPL106"
+STAGE = "kernel"
+BUFFER = "grid"
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl106_misaligned")
+    b.buffer("grid", 4 * MB, cpu_line_aligned=False)
+    b.gpu_kernel("kernel", flops=1e6, reads=[BufferAccess("grid")])
+    pipeline = b.build()
+    limited = pipeline.with_stages(pipeline.stages, limited_copy=True)
+    spec = BenchmarkSpec(
+        name="rpl106_misaligned",
+        suite="fixture",
+        description="misaligned limited-copy access without the flag",
+        pc_comm=False,
+        pipe_parallel=False,
+        regular_pc=False,
+        irregular=False,
+        sw_queue=False,
+        build=lambda: pipeline,
+        misaligned_limited_copy=False,
+    )
+    return limited, spec

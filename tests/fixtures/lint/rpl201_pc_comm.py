@@ -1,0 +1,37 @@
+"""RPL201: the spec declares no producer-consumer communication, but one
+kernel clearly feeds another through a buffer."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+from repro.workloads.spec import BenchmarkSpec
+
+RULE = "RPL201"
+STAGE = None
+BUFFER = None
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl201_pc_comm")
+    b.buffer("t", 1 * MB, temporary=True)
+    b.gpu_kernel("producer", flops=1e6, writes=[BufferAccess("t")])
+    # GRAPH consumption keeps the derived regular_pc flag False, so only
+    # the pc_comm contradiction fires.
+    b.gpu_kernel(
+        "consumer", flops=1e6,
+        reads=[BufferAccess("t", AccessPattern.GRAPH)],
+    )
+    pipeline = b.build()
+    spec = BenchmarkSpec(
+        name="rpl201_pc_comm",
+        suite="fixture",
+        description="declares pc_comm=False despite a P-C edge",
+        pc_comm=False,
+        pipe_parallel=False,
+        regular_pc=False,
+        irregular=True,
+        sw_queue=False,
+        build=lambda: pipeline,
+    )
+    return pipeline, spec

@@ -1,0 +1,33 @@
+"""RPL202: the spec declares the pipeline cannot be parallelized, yet its
+stages are explicitly marked chunkable."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+from repro.workloads.spec import BenchmarkSpec
+
+RULE = "RPL202"
+STAGE = None
+BUFFER = None
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl202_pipe_parallel")
+    b.buffer("t", 1 * MB, temporary=True)
+    b.gpu_kernel("producer", flops=1e6, writes=[BufferAccess("t")])
+    b.gpu_kernel(
+        "consumer", flops=1e6, reads=[BufferAccess("t")], chunkable=True
+    )
+    pipeline = b.build()
+    spec = BenchmarkSpec(
+        name="rpl202_pipe_parallel",
+        suite="fixture",
+        description="declares pipe_parallel=False despite chunkable stages",
+        pc_comm=True,
+        pipe_parallel=False,
+        regular_pc=True,
+        irregular=False,
+        sw_queue=False,
+        build=lambda: pipeline,
+    )
+    return pipeline, spec

@@ -1,0 +1,35 @@
+"""RPL203: the spec declares regular producer-consumer constructs, but
+every P-C edge in the pipeline is consumed irregularly."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.patterns import AccessPattern
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+from repro.workloads.spec import BenchmarkSpec
+
+RULE = "RPL203"
+STAGE = None
+BUFFER = None
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl203_regular_pc")
+    b.buffer("t", 1 * MB, temporary=True)
+    b.gpu_kernel("producer", flops=1e6, writes=[BufferAccess("t")])
+    b.gpu_kernel(
+        "consumer", flops=1e6,
+        reads=[BufferAccess("t", AccessPattern.POINTER_CHASE)],
+    )
+    pipeline = b.build()
+    spec = BenchmarkSpec(
+        name="rpl203_regular_pc",
+        suite="fixture",
+        description="declares regular_pc despite only irregular consumption",
+        pc_comm=True,
+        pipe_parallel=True,
+        regular_pc=True,
+        irregular=True,
+        sw_queue=False,
+        build=lambda: pipeline,
+    )
+    return pipeline, spec

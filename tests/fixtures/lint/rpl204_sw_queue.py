@@ -1,0 +1,31 @@
+"""RPL204: the spec declares a software worklist, but no kernel both pops
+and pushes a device-resident queue buffer."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+from repro.workloads.spec import BenchmarkSpec
+
+RULE = "RPL204"
+STAGE = None
+BUFFER = None
+
+
+def build():
+    b = PipelineBuilder("fixture/rpl204_sw_queue")
+    b.buffer("t", 1 * MB, temporary=True)
+    b.gpu_kernel("producer", flops=1e6, writes=[BufferAccess("t")])
+    b.gpu_kernel("consumer", flops=1e6, reads=[BufferAccess("t")])
+    pipeline = b.build()
+    spec = BenchmarkSpec(
+        name="rpl204_sw_queue",
+        suite="fixture",
+        description="declares sw_queue without a worklist structure",
+        pc_comm=True,
+        pipe_parallel=True,
+        regular_pc=True,
+        irregular=False,
+        sw_queue=True,
+        build=lambda: pipeline,
+    )
+    return pipeline, spec

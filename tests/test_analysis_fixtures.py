@@ -1,0 +1,69 @@
+"""Negative fixtures: every lint rule has a deliberately broken pipeline
+under tests/fixtures/lint/ proving the rule fires at the right location."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, lint_pipeline
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures" / "lint"
+FIXTURE_PATHS = sorted(FIXTURE_DIR.glob("rpl*.py"))
+
+
+def load_fixture(path):
+    spec = importlib.util.spec_from_file_location(f"lint_fixture_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
+def test_fixture_fires_expected_rule(path):
+    module = load_fixture(path)
+    pipeline, bench_spec = module.build()
+    report = lint_pipeline(pipeline, bench_spec)
+    matches = [d for d in report if d.rule == module.RULE]
+    assert matches, (
+        f"{path.stem}: expected {module.RULE} to fire, got "
+        f"{[d.format() for d in report]}"
+    )
+    for diagnostic in matches:
+        assert diagnostic.pipeline == pipeline.name
+        assert diagnostic.severity is RULES[module.RULE].severity
+    if module.STAGE is not None:
+        assert any(d.stage == module.STAGE for d in matches), (
+            f"{path.stem}: {module.RULE} fired but not at stage "
+            f"{module.STAGE!r}: {[d.stage for d in matches]}"
+        )
+    if module.BUFFER is not None:
+        assert any(d.buffer == module.BUFFER for d in matches), (
+            f"{path.stem}: {module.RULE} fired but not at buffer "
+            f"{module.BUFFER!r}: {[d.buffer for d in matches]}"
+        )
+
+
+@pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
+def test_fixture_fires_no_unrelated_rule_family(path):
+    """A fixture triggers its own rule, not a zoo of incidental findings:
+    any extra rule must at least stay below the fixture rule's severity."""
+    module = load_fixture(path)
+    pipeline, bench_spec = module.build()
+    report = lint_pipeline(pipeline, bench_spec)
+    expected_rank = RULES[module.RULE].severity.rank
+    for diagnostic in report:
+        if diagnostic.rule != module.RULE:
+            assert diagnostic.severity.rank <= expected_rank, (
+                f"{path.stem}: unexpected {diagnostic.format()}"
+            )
+
+
+def test_every_rule_has_a_fixture():
+    covered = set()
+    for path in FIXTURE_PATHS:
+        covered.add(load_fixture(path).RULE)
+    assert covered == set(RULES), (
+        f"rules without fixtures: {sorted(set(RULES) - covered)}; "
+        f"fixtures for unknown rules: {sorted(covered - set(RULES))}"
+    )

@@ -20,6 +20,7 @@ class TestParser:
             "fig9",
             "validate",
             "ablations",
+            "lint",
             "all",
         ):
             assert command in text
@@ -112,6 +113,96 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "demo/saxpy" in out and "porting changes run time" in out
 
+class TestLintCommand:
+    """Exit-code contract: 0 clean, 1 findings at/above --fail-on, 2 usage."""
+
+    def _write_spec(self, tmp_path, spec):
+        import json
+
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def _space_violation_spec(self, tmp_path):
+        # A GPU kernel reading a host allocation with no interposed copy:
+        # RPL101, error level, in the copy form.
+        return self._write_spec(tmp_path, {
+            "name": "demo/broken",
+            "buffers": [{"name": "x", "size": "4MB"}],
+            "stages": [
+                {"op": "gpu", "name": "k", "flops": 1e6,
+                 "reads": [{"buffer": "x"}]},
+            ],
+        })
+
+    def _warning_spec(self, tmp_path):
+        # Clean at error level, but buffer "spare" is never accessed:
+        # RPL104, warning level, in both forms.
+        return self._write_spec(tmp_path, {
+            "name": "demo/sloppy",
+            "buffers": [
+                {"name": "x", "size": "4MB"},
+                {"name": "spare", "size": "4MB"},
+            ],
+            "stages": [
+                {"op": "h2d", "buffer": "x"},
+                {"op": "gpu", "name": "k", "flops": 1e6,
+                 "reads": [{"buffer": "x_dev"}]},
+            ],
+        })
+
+    def test_registry_lints_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "92 pipeline(s) checked" in out
+
+    def test_single_benchmark_json(self, capsys):
+        import json
+
+        assert main(["lint", "rodinia/kmeans", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.lint/v1"
+        assert payload["clean"] is True
+        assert payload["pipelines"] == [
+            "rodinia/kmeans", "rodinia/kmeans [limited-copy]",
+        ]
+
+    def test_exit_1_on_error_finding(self, capsys, tmp_path):
+        assert main(["lint", "--spec", self._space_violation_spec(tmp_path)]) == 1
+        assert "RPL101" in capsys.readouterr().out
+
+    def test_exit_0_when_findings_below_threshold(self, capsys, tmp_path):
+        assert main(["lint", "--spec", self._warning_spec(tmp_path)]) == 0
+        assert "RPL104" in capsys.readouterr().out
+
+    def test_fail_on_warn_promotes_warnings(self, capsys, tmp_path):
+        spec = self._warning_spec(tmp_path)
+        assert main(["lint", "--spec", spec, "--fail-on", "warn"]) == 1
+
+    def test_json_report_for_findings(self, capsys, tmp_path):
+        import json
+
+        spec = self._space_violation_spec(tmp_path)
+        assert main(["lint", "--spec", spec, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert any(f["rule"] == "RPL101" for f in payload["findings"])
+
+    def test_exit_2_unknown_benchmark(self, capsys):
+        assert main(["lint", "nosuch/bench"]) == 2
+        assert "nosuch/bench" in capsys.readouterr().err
+
+    def test_exit_2_bad_severity(self, capsys):
+        assert main(["lint", "--fail-on", "fatal"]) == 2
+        assert "fatal" in capsys.readouterr().err
+
+    def test_exit_2_unreadable_spec(self, capsys, tmp_path):
+        assert main(["lint", "--spec", str(tmp_path / "missing.json")]) == 2
+        assert capsys.readouterr().err
+
+
+class TestExport:
     def test_export_to_file(self, capsys, tmp_path):
         target = tmp_path / "run.json"
         assert main(

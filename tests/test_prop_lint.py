@@ -1,0 +1,91 @@
+"""Property-based tests: the paper's transforms never introduce new
+error-level lint findings on randomly generated valid pipelines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Severity, lint_pipeline
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.transforms import fission_async_streams, remove_copies
+from repro.units import MB
+
+
+@st.composite
+def copy_pipelines(draw):
+    """A discrete-GPU pipeline: host inputs copied in, a kernel chain over
+    device temporaries (some chunkable), and the result copied back out."""
+    n_inputs = draw(st.integers(1, 3))
+    n_kernels = draw(st.integers(1, 5))
+    b = PipelineBuilder("prop/lint", metadata={"outputs": ("out",)})
+    available = []
+    for i in range(n_inputs):
+        name = f"in{i}"
+        b.buffer(name, draw(st.sampled_from([1 * MB, 2 * MB, 4 * MB])))
+        b.copy_h2d(name)
+        available.append(f"{name}_dev")
+    b.buffer("out", 1 * MB)
+    b.mirror("out")
+    for k in range(n_kernels):
+        is_last = k == n_kernels - 1
+        target = "out_dev" if is_last else f"tmp{k}"
+        if not is_last:
+            b.buffer(target, 1 * MB, temporary=True)
+        reads = draw(
+            st.lists(
+                st.sampled_from(available),
+                min_size=1,
+                max_size=min(3, len(available)),
+                unique=True,
+            )
+        )
+        b.gpu_kernel(
+            f"k{k}",
+            flops=float(draw(st.integers(1, 1000)) * 1000),
+            reads=reads,
+            writes=[target],
+            chunkable=draw(st.booleans()),
+        )
+        available.append(target)
+    b.copy_d2h("out_dev", "out", name="d2h_out")
+    return b.build()
+
+
+def error_keys(pipeline):
+    """(rule, stage, buffer) triples for every error-level finding."""
+    report = lint_pipeline(pipeline)
+    return {
+        (d.rule, d.stage, d.buffer)
+        for d in report.at_least(Severity.ERROR)
+    }
+
+
+@given(pipeline=copy_pipelines())
+@settings(max_examples=60, deadline=None)
+def test_generated_pipelines_are_error_clean(pipeline):
+    assert error_keys(pipeline) == set()
+
+
+@given(pipeline=copy_pipelines())
+@settings(max_examples=60, deadline=None)
+def test_remove_copies_introduces_no_errors(pipeline):
+    before = error_keys(pipeline)
+    after = error_keys(remove_copies(pipeline))
+    assert after <= before
+
+
+@given(pipeline=copy_pipelines(), streams=st.integers(2, 6))
+@settings(max_examples=60, deadline=None)
+def test_fission_introduces_no_errors(pipeline, streams):
+    before = error_keys(pipeline)
+    after = error_keys(fission_async_streams(pipeline, streams))
+    assert after <= before
+
+
+@given(pipeline=copy_pipelines(), streams=st.integers(2, 4))
+@settings(max_examples=30, deadline=None)
+def test_composed_transforms_introduce_no_errors(pipeline, streams):
+    """The two transforms compose: limited-copy port of a fissioned
+    pipeline is still error-clean."""
+    before = error_keys(pipeline)
+    after = error_keys(remove_copies(fission_async_streams(pipeline, streams)))
+    assert after <= before

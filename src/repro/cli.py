@@ -11,11 +11,20 @@ Commands::
     repro ablations                   # ablation studies
     repro cache [--clear]             # inspect the persistent result cache
     repro lint [BENCHMARK...]         # static pipeline verification
+    repro trace BENCHMARK             # run with the tracing layer attached
     repro all [--scale S]             # everything above
 
 ``repro lint`` exits 0 when no finding reaches the ``--fail-on``
 threshold, 1 when one does, and 2 on usage errors (unknown benchmark or
 unreadable spec file) — see docs/LINTING.md.
+
+``repro trace`` simulates one benchmark with the event-tracing layer and
+invariant monitor attached (docs/TRACING.md): ``--system discrete`` runs
+the copy version on the discrete-GPU machine, ``--system hsa`` the
+limited-copy version on the heterogeneous processor.  ``-o out.json``
+writes a Chrome ``trace_event`` file (open in https://ui.perfetto.dev);
+``--format jsonl`` writes the compact JSONL stream instead.  Exits 1 if
+any conservation invariant was violated, 2 on usage errors.
 
 Every simulating command takes ``--jobs N`` (0 = all cores, 1 = serial) to
 fan the sweep out over a process pool, and ``--cache-dir``/``--no-cache``
@@ -231,6 +240,99 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.clean(fail_on) else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.config.system import heterogeneous_processor
+    from repro.pipeline.transforms import remove_copies
+    from repro.sim.engine import simulate
+    from repro.sim.observe import (
+        InvariantMonitor,
+        TraceRecorder,
+        event_to_dict,
+        write_chrome_trace,
+    )
+    from repro.sim.timeline import render_trace_timeline
+
+    try:
+        spec = get(args.benchmark)
+    except KeyError as exc:
+        # A bare name shared by several suites is fine for a quick trace:
+        # take the first match (suite order) rather than erroring out.
+        matches = sorted(
+            s.full_name
+            for s in all_specs()
+            if s.name == args.benchmark and s.simulatable
+        )
+        if not matches:
+            print(f"repro trace: {exc.args[0]}", file=sys.stderr)
+            return 2
+        spec = get(matches[0])
+        if len(matches) > 1:
+            print(
+                f"repro trace: {args.benchmark!r} is ambiguous "
+                f"({', '.join(matches)}); tracing {matches[0]}",
+                file=sys.stderr,
+            )
+    if not spec.simulatable:
+        print(
+            f"repro trace: {spec.full_name} has no pipeline model",
+            file=sys.stderr,
+        )
+        return 2
+    pipeline = spec.pipeline()
+    if args.system == "hsa":
+        pipeline = remove_copies(pipeline)
+        system = heterogeneous_processor()
+    else:
+        system = discrete_gpu_system()
+
+    recorder = TraceRecorder()
+    sinks = [recorder]
+    monitor = None
+    if not args.no_check:
+        monitor = InvariantMonitor(mode="record")
+        sinks.append(monitor)
+    # The cache/runner path is bypassed on purpose: replayed results carry
+    # no events, and tracing must watch a live engine.
+    result = simulate(pipeline, system, _options(args), sinks=sinks)
+
+    label = f"{spec.full_name} [{args.system}]"
+    if args.output:
+        if args.format == "jsonl":
+            import json as _json
+
+            with open(args.output, "w", encoding="utf-8") as handle:
+                for event in recorder.events:
+                    _json.dump(event_to_dict(event), handle, separators=(",", ":"))
+                    handle.write("\n")
+        else:
+            write_chrome_trace(
+                args.output,
+                recorder.events,
+                name=label,
+                other_data={
+                    "system": result.system_kind,
+                    "roi_s": result.roi_s,
+                },
+            )
+        print(f"wrote {len(recorder.events)} events to {args.output}")
+    else:
+        print(render_trace_timeline(recorder.events, title=label))
+        print(f"\n{len(recorder.events)} events traced")
+    if monitor is not None:
+        if result.violations:
+            print(
+                f"INVARIANT VIOLATIONS ({len(result.violations)}):",
+                file=sys.stderr,
+            )
+            for violation in result.violations:
+                print(
+                    f"  [{violation.rule}] {violation.message}", file=sys.stderr
+                )
+            return 1
+        print("invariants: all clean", file=sys.stderr)
+    return 0
+
+
 def cmd_table2(args: argparse.Namespace) -> int:
     print(table2.render())
     return 0
@@ -408,6 +510,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when a finding at or above this severity exists "
         "(error, warn, info; default: error)")
     lint_p.set_defaults(handler=cmd_lint)
+    trace_p = add(
+        "trace",
+        cmd_trace,
+        "simulate one benchmark with event tracing + invariant monitoring",
+    )
+    trace_p.add_argument("benchmark", help="benchmark name, e.g. lonestar/bfs")
+    trace_p.add_argument(
+        "--system", choices=("discrete", "hsa"), default="discrete",
+        help="discrete: copy version on the discrete-GPU machine; hsa: "
+        "limited-copy version on the heterogeneous processor")
+    trace_p.add_argument(
+        "-o", "--output", default=None,
+        help="output file; omit to print an ASCII timeline instead")
+    trace_p.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="chrome: trace_event JSON for Perfetto/chrome://tracing "
+        "(default); jsonl: one event per line")
+    trace_p.add_argument(
+        "--no-check", action="store_true",
+        help="skip the conservation-invariant monitor")
     cache_p = add("cache", cmd_cache, "inspect the persistent result cache")
     cache_p.add_argument("--clear", action="store_true",
                          help="delete every cached result")

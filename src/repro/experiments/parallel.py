@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config.system import SystemConfig
 from repro.pipeline.transforms import remove_copies
 from repro.sim.engine import SimOptions, simulate
+from repro.sim.observe.metrics import MetricsRegistry
 from repro.sim.resultcache import ResultCache, cache_key
 from repro.sim.results import SimResult
 from repro.workloads import registry
@@ -160,18 +161,26 @@ def run_tasks(
     options: SimOptions,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    metrics_registry: Optional[MetricsRegistry] = None,
 ) -> Tuple[Dict[Tuple[str, str], SimResult], SweepMetrics]:
     """Execute a batch of sweep tasks, parallel and cache-aware.
 
     Returns results keyed by ``(full_name, version)`` plus the metrics of
     this invocation.  With ``jobs`` resolving to 1 the whole batch runs
     serially in-process (bit-identical to the parallel path — simulations
-    are deterministic and workers run the same code).
+    are deterministic and workers run the same code).  With a
+    ``metrics_registry`` every result of the batch — fresh simulation and
+    persistent-cache hit alike — is summarized into it, so sweeps can
+    surface per-benchmark trace summaries without re-running anything.
     """
     jobs = resolve_jobs(jobs)
     metrics = SweepMetrics(total=len(tasks), jobs=jobs)
     results: Dict[Tuple[str, str], SimResult] = {}
     start = time.perf_counter()
+
+    def record(task: SweepTask, result: SimResult) -> None:
+        if metrics_registry is not None:
+            metrics_registry.record(task.full_name, task.version, result)
 
     pending: List[Tuple[SweepTask, str]] = []
     for task in tasks:
@@ -180,6 +189,7 @@ def run_tasks(
         entry = cache.load(key) if cache is not None else None
         if entry is not None:
             results[(task.full_name, task.version)] = entry.result
+            record(task, entry.result)
             metrics.cache_hits += 1
             metrics.serial_estimate_s += entry.sim_wall_s
         else:
@@ -187,6 +197,7 @@ def run_tasks(
 
     def finish(task: SweepTask, key: str, result: SimResult, wall_s: float) -> None:
         results[(task.full_name, task.version)] = result
+        record(task, result)
         metrics.launched += 1
         metrics.serial_estimate_s += wall_s
         if cache is not None:

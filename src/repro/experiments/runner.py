@@ -37,6 +37,7 @@ from repro.experiments.parallel import (
     run_tasks,
 )
 from repro.sim.engine import SimOptions
+from repro.sim.observe.metrics import MetricsRegistry
 from repro.sim.resultcache import ResultCache, cache_key
 from repro.sim.results import SimResult
 from repro.workloads.registry import simulatable_specs
@@ -112,6 +113,10 @@ class SweepRunner:
         #: tag, so changing ``self.options`` can never serve stale results.
         self._memo: Dict[str, SimResult] = {}
         self.last_metrics: Optional[SweepMetrics] = None
+        #: Per-(benchmark, version) trace summaries of everything this
+        #: runner has produced (fresh, cache hit, or memo hit) — the
+        #: sweep-level aggregation point of repro.sim.observe.metrics.
+        self.metrics_registry = MetricsRegistry()
 
     # -- keys ----------------------------------------------------------------
 
@@ -137,6 +142,9 @@ class SweepRunner:
             keys[(spec.full_name, version)] = key
             if key in self._memo:
                 memo_hits += 1
+                self.metrics_registry.record(
+                    spec.full_name, version, self._memo[key]
+                )
             else:
                 tasks.append((SweepTask(spec, version), key))
         if self.preflight:
@@ -148,6 +156,7 @@ class SweepRunner:
             options=self.options,
             jobs=self.jobs,
             cache=self.cache,
+            metrics_registry=self.metrics_registry,
         )
         for task, key in tasks:
             self._memo[key] = results[(task.full_name, task.version)]
@@ -202,6 +211,10 @@ class SweepRunner:
             )
             for spec in specs
         }
+
+    def trace_summary_table(self) -> str:
+        """Per-benchmark trace summaries of every run this runner served."""
+        return self.metrics_registry.format_table()
 
 
 _default_runner: Optional[SweepRunner] = None

@@ -11,7 +11,7 @@ generated access trace through the cache system in start-time order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -20,6 +20,28 @@ from repro.pipeline.graph import Pipeline
 from repro.pipeline.stage import Stage, StageKind
 from repro.sim.dram import MemorySystem
 from repro.sim.hierarchy import CacheSystem, Component, DomainResult
+from repro.sim.observe.events import (
+    CTR_BW_SHARE,
+    CTR_DRAM_READS,
+    CTR_DRAM_WRITES,
+    CTR_LINK_BYTES_IN,
+    CTR_LINK_BYTES_OUT,
+    CTR_ONCHIP_TRANSFERS,
+    MARK_ROI_END,
+    SPAN_FAULT,
+    SPAN_LAUNCH,
+    SPAN_STAGE,
+    SRC_COPY,
+    SRC_DRAIN,
+    SRC_FLUSH,
+    SRC_STAGE,
+    SRC_ZERO,
+    CounterEvent,
+    MarkEvent,
+    SpanEvent,
+    TraceEvent,
+)
+from repro.sim.observe.sinks import TraceSink
 from repro.sim.pagefault import PageFaultModel, premapped_pages
 from repro.sim.pcie import CopyEngine
 from repro.sim.results import Interval, SimResult, StageRecord
@@ -39,7 +61,9 @@ _COMPONENT_OF_KIND = {
 #: change to the engine, trace generation, cache/DRAM/PCIe models, or the
 #: workload pipeline builders alters simulation output for unchanged
 #: (pipeline, system, options) inputs.
-ENGINE_VERSION = "repro-sim/1"
+#: 2: SimResult grew the optional ``violations`` field (repro.sim.observe);
+#:    simulation math is unchanged but the serialized form is richer.
+ENGINE_VERSION = "repro-sim/2"
 
 
 @dataclass(frozen=True)
@@ -66,9 +90,25 @@ class SimOptions:
 
 
 class Engine:
-    """Executes one pipeline on one system configuration."""
+    """Executes one pipeline on one system configuration.
 
-    def __init__(self, pipeline: Pipeline, system: SystemConfig, options: SimOptions):
+    ``sinks`` attaches trace sinks (:mod:`repro.sim.observe`): the engine
+    emits typed span/counter events at its hook points (stage execution,
+    bandwidth refinement, cache drains) and calls each sink's ``finish``
+    with the completed result.  Tracing is observation-only — attaching
+    sinks never changes the simulation outcome — and with no sinks the
+    emission paths are skipped entirely.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        system: SystemConfig,
+        options: SimOptions,
+        sinks: Sequence[TraceSink] = (),
+    ):
+        self.sinks: Tuple[TraceSink, ...] = tuple(sinks)
+        self._tracing = bool(self.sinks)
         if options.scale != 1.0:
             pipeline = pipeline.scaled(options.scale)
             system = system.scaled(options.scale)
@@ -116,6 +156,12 @@ class Engine:
         return replace(
             cfg, capacity_bytes=cfg.capacity_bytes * self.system.gpu.num_cores
         )
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
 
     # -- scheduling ------------------------------------------------------------
 
@@ -175,6 +221,17 @@ class Engine:
                 sliver = Interval(launch_start, launch_start + launch_latency)
                 launch_intervals.append(sliver)
                 busy[Component.CPU].append(sliver)
+                if self._tracing:
+                    self._emit(
+                        SpanEvent(
+                            category=SPAN_LAUNCH,
+                            name=f"launch:{stage.name}",
+                            component=Component.CPU.value,
+                            start_s=sliver.start,
+                            end_s=sliver.end,
+                            ordinal=ordinal,
+                        )
+                    )
 
             active = frozenset(
                 comp
@@ -195,7 +252,9 @@ class Engine:
             ordinal += 1
 
         roi = max((r.end_s for r in records), default=0.0)
-        self._drain_caches(ordinal)
+        self._drain_caches(ordinal, roi)
+        if self._tracing:
+            self._emit(MarkEvent(name=MARK_ROI_END, t_s=roi))
 
         blocks, is_write, stage_arr, comp_arr = self.caches.log.arrays()
         if not self.options.collect_log:
@@ -212,7 +271,7 @@ class Engine:
             logical_of_ordinal[-1] if logical_of_ordinal else 0
         )
 
-        return SimResult(
+        result = SimResult(
             pipeline_name=self.pipeline.name,
             system_kind=self.system.kind.value,
             roi_s=roi,
@@ -229,6 +288,18 @@ class Engine:
             total_flops=self.pipeline.total_flops,
             flops_by_component=flops_by_component,
         )
+        # Let every sink see the finished run; monitors check their
+        # conservation laws here ("raise" mode propagates from finish).
+        for sink in self.sinks:
+            sink.finish(result)
+        violations = tuple(
+            violation
+            for sink in self.sinks
+            for violation in getattr(sink, "violations", ())
+        )
+        if violations:
+            result.violations = violations
+        return result
 
     # -- per-stage execution ------------------------------------------------------
 
@@ -262,6 +333,79 @@ class Engine:
                 compute_s=0.0, memory_s=timing_copy.transfer_s, latency_s=0.0
             )
             end = start + timing_copy.transfer_s
+            if self._tracing:
+                flushed = mem.offchip_writes - len(dst_blocks)
+                line_bytes = self.options.line_bytes
+                self._emit(
+                    SpanEvent(
+                        category=SPAN_STAGE,
+                        name=stage.name,
+                        component=component.value,
+                        start_s=start,
+                        end_s=end,
+                        ordinal=ordinal,
+                        args={"kind": stage.kind.value, "logical": stage.logical_name},
+                    )
+                )
+                self._emit(
+                    CounterEvent(
+                        name=CTR_BW_SHARE,
+                        component=component.value,
+                        t_s=start,
+                        value=share.bytes_per_second,
+                        ordinal=ordinal,
+                        args={"pool": share.pool},
+                    )
+                )
+                self._emit(
+                    CounterEvent(
+                        name=CTR_LINK_BYTES_IN,
+                        component=component.value,
+                        t_s=start,
+                        value=len(src_blocks) * line_bytes,
+                        ordinal=ordinal,
+                    )
+                )
+                self._emit(
+                    CounterEvent(
+                        name=CTR_LINK_BYTES_OUT,
+                        component=component.value,
+                        t_s=end,
+                        value=len(dst_blocks) * line_bytes,
+                        ordinal=ordinal,
+                    )
+                )
+                self._emit(
+                    CounterEvent(
+                        name=CTR_DRAM_READS,
+                        component=component.value,
+                        t_s=start,
+                        value=len(src_blocks),
+                        ordinal=ordinal,
+                        source=SRC_COPY,
+                    )
+                )
+                self._emit(
+                    CounterEvent(
+                        name=CTR_DRAM_WRITES,
+                        component=component.value,
+                        t_s=end,
+                        value=len(dst_blocks),
+                        ordinal=ordinal,
+                        source=SRC_COPY,
+                    )
+                )
+                if flushed:
+                    self._emit(
+                        CounterEvent(
+                            name=CTR_DRAM_WRITES,
+                            component=component.value,
+                            t_s=start,
+                            value=flushed,
+                            ordinal=ordinal,
+                            source=SRC_FLUSH,
+                        )
+                    )
             return StageRecord(
                 name=stage.name,
                 logical=stage.logical_name,
@@ -281,11 +425,13 @@ class Engine:
 
         fault_service = 0.0
         fault_count = 0
+        zeroed_count = 0
         if self.faults is not None and len(stream):
             fault = self.faults.touch(stream.blocks, stage.kind)
             fault_service = fault.service_time_s
             fault_count = fault.faults
             if len(fault.zeroed_blocks) and self.system.page_faults.enabled:
+                zeroed_count = len(fault.zeroed_blocks)
                 # The CPU zeroes newly mapped pages; attribute the writes to
                 # the CPU component (the srad access-shifting effect).
                 # Zeroing traffic counts as CPU memory accesses (the srad
@@ -299,7 +445,7 @@ class Engine:
 
         mem = self.caches.process_compute(stream, ordinal, component)
         share = self.memory.effective_bandwidth(component, active)
-        share = self._refine_bandwidth(share, component, mem)
+        share = self._refine_bandwidth(share, component, mem, ordinal, start)
         if stage.kind is StageKind.GPU_KERNEL and stage.resources is not None:
             from dataclasses import replace as _replace
 
@@ -323,6 +469,73 @@ class Engine:
         if fault_service > 0.0:
             # The CPU is busy servicing faults while the kernel runs.
             busy[Component.CPU].append(Interval(start, start + fault_service))
+            if self._tracing:
+                self._emit(
+                    SpanEvent(
+                        category=SPAN_FAULT,
+                        name=f"fault:{stage.name}",
+                        component=Component.CPU.value,
+                        start_s=start,
+                        end_s=start + fault_service,
+                        ordinal=ordinal,
+                        args={"faults": fault_count},
+                    )
+                )
+        if self._tracing:
+            self._emit(
+                SpanEvent(
+                    category=SPAN_STAGE,
+                    name=stage.name,
+                    component=component.value,
+                    start_s=start,
+                    end_s=end,
+                    ordinal=ordinal,
+                    args={"kind": stage.kind.value, "logical": stage.logical_name},
+                )
+            )
+            if mem.offchip_reads:
+                self._emit(
+                    CounterEvent(
+                        name=CTR_DRAM_READS,
+                        component=component.value,
+                        t_s=start,
+                        value=mem.offchip_reads,
+                        ordinal=ordinal,
+                        source=SRC_STAGE,
+                    )
+                )
+            if mem.offchip_writes:
+                self._emit(
+                    CounterEvent(
+                        name=CTR_DRAM_WRITES,
+                        component=component.value,
+                        t_s=end,
+                        value=mem.offchip_writes,
+                        ordinal=ordinal,
+                        source=SRC_STAGE,
+                    )
+                )
+            if mem.onchip_transfers:
+                self._emit(
+                    CounterEvent(
+                        name=CTR_ONCHIP_TRANSFERS,
+                        component=component.value,
+                        t_s=start,
+                        value=mem.onchip_transfers,
+                        ordinal=ordinal,
+                    )
+                )
+            if zeroed_count:
+                self._emit(
+                    CounterEvent(
+                        name=CTR_DRAM_WRITES,
+                        component=Component.CPU.value,
+                        t_s=start,
+                        value=zeroed_count,
+                        ordinal=ordinal,
+                        source=SRC_ZERO,
+                    )
+                )
         return StageRecord(
             name=stage.name,
             logical=stage.logical_name,
@@ -340,26 +553,48 @@ class Engine:
             flops=stage.flops,
         )
 
-    def _refine_bandwidth(self, share, component, mem):
-        """Apply the optional row-buffer DRAM efficiency refinement."""
-        if not self.options.dram_row_model:
-            return share
-        if mem.offchip_blocks is None or not len(mem.offchip_blocks):
-            return share
-        from repro.sim.dram import BandwidthShare
-        from repro.sim.dram_row import stream_efficiency
+    def _refine_bandwidth(self, share, component, mem, ordinal=-1, t_s=0.0):
+        """Apply the optional row-buffer DRAM efficiency refinement.
 
-        pool = self.memory.pool_of(component)
-        ratio = (
-            stream_efficiency(mem.offchip_blocks, line_bytes=self.options.line_bytes)
-            / pool.efficiency
-        )
-        return BandwidthShare(
-            pool=share.pool, bytes_per_second=share.bytes_per_second * ratio
-        )
+        Also a tracing hook point: the bandwidth share each compute stage
+        is granted (refined or not) is emitted as a ``bw.share`` counter.
+        """
+        refined = share
+        if self.options.dram_row_model and (
+            mem.offchip_blocks is not None and len(mem.offchip_blocks)
+        ):
+            from repro.sim.dram import BandwidthShare
+            from repro.sim.dram_row import stream_efficiency
 
-    def _drain_caches(self, ordinal: int) -> None:
-        """Flush dirty lines at ROI end so final writes reach the log."""
+            pool = self.memory.pool_of(component)
+            ratio = (
+                stream_efficiency(
+                    mem.offchip_blocks, line_bytes=self.options.line_bytes
+                )
+                / pool.efficiency
+            )
+            refined = BandwidthShare(
+                pool=share.pool, bytes_per_second=share.bytes_per_second * ratio
+            )
+        if self._tracing:
+            self._emit(
+                CounterEvent(
+                    name=CTR_BW_SHARE,
+                    component=component.value,
+                    t_s=t_s,
+                    value=refined.bytes_per_second,
+                    ordinal=ordinal,
+                    args={"pool": refined.pool, "raw": share.bytes_per_second},
+                )
+            )
+        return refined
+
+    def _drain_caches(self, ordinal: int, roi_s: float = 0.0) -> None:
+        """Flush dirty lines at ROI end so final writes reach the log.
+
+        Tracing hook point: each cache's drain volume is emitted as a
+        ``dram.writes`` counter with source ``drain`` at ``t == roi_s``.
+        """
         for domain, comp in (
             (self.caches.cpu, Component.CPU),
             (self.caches.gpu, Component.GPU),
@@ -371,12 +606,30 @@ class Engine:
                     self.caches.log.append(
                         arr, np.ones(len(arr), dtype=bool), ordinal, comp
                     )
+                    if self._tracing:
+                        self._emit(
+                            CounterEvent(
+                                name=CTR_DRAM_WRITES,
+                                component=comp.value,
+                                t_s=roi_s,
+                                value=len(written),
+                                ordinal=ordinal,
+                                source=SRC_DRAIN,
+                                args={"cache": cache.name},
+                            )
+                        )
 
 
 def simulate(
     pipeline: Pipeline,
     system: SystemConfig,
     options: Optional[SimOptions] = None,
+    sinks: Sequence[TraceSink] = (),
 ) -> SimResult:
-    """Simulate ``pipeline`` on ``system``; the library's main entry point."""
-    return Engine(pipeline, system, options or SimOptions()).run()
+    """Simulate ``pipeline`` on ``system``; the library's main entry point.
+
+    ``sinks`` attaches trace sinks from :mod:`repro.sim.observe`
+    (recorders, exporters, the invariant monitor); tracing is
+    observation-only and the default (no sinks) adds no overhead.
+    """
+    return Engine(pipeline, system, options or SimOptions(), sinks=sinks).run()

@@ -1,0 +1,208 @@
+"""Chrome ``trace_event`` export of engine traces.
+
+Produces the JSON object format consumed by Perfetto
+(https://ui.perfetto.dev) and the legacy ``chrome://tracing`` viewer:
+``{"traceEvents": [...], "displayTimeUnit": "us", "otherData": {...}}``.
+Spans become complete events (``ph == "X"``), counters counter events
+(``ph == "C"``), marks global instants (``ph == "i"``); one process with
+one thread lane per component keeps the Fig. 3/6-style who-is-active-when
+view intact.
+
+:func:`validate_chrome_trace` is a minimal structural checker for the
+subset this exporter emits; the golden-trace tests and the ``repro
+trace`` CLI run every export through it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Union
+
+from repro.sim.hierarchy import Component
+from repro.sim.observe.events import (
+    CounterEvent,
+    MarkEvent,
+    SpanEvent,
+    TraceEvent,
+)
+
+#: Schema tag recorded in the exported ``otherData``.
+CHROME_SCHEMA = "repro.trace/chrome/v1"
+
+#: Process id used for every event (one simulated machine).
+PID = 1
+
+#: Thread lane per component, in the timeline's render order.
+TID_OF_COMPONENT = {
+    Component.COPY.value: 1,
+    Component.CPU.value: 2,
+    Component.GPU.value: 3,
+}
+
+_SECONDS_TO_US = 1e6
+
+_VALID_PHASES = ("X", "C", "i", "M")
+
+
+def _metadata_events(name: str) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID,
+            "tid": 0,
+            "args": {"name": name},
+        }
+    ]
+    for component, tid in sorted(TID_OF_COMPONENT.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PID,
+                "tid": tid,
+                "args": {"name": component},
+            }
+        )
+    return events
+
+
+def _span_to_chrome(event: SpanEvent) -> Dict[str, Any]:
+    args: Dict[str, Any] = {"category": event.category, **dict(event.args)}
+    if event.ordinal >= 0:
+        args["ordinal"] = event.ordinal
+    return {
+        "name": event.name,
+        "cat": event.category,
+        "ph": "X",
+        "pid": PID,
+        "tid": TID_OF_COMPONENT[event.component],
+        "ts": event.start_s * _SECONDS_TO_US,
+        "dur": event.duration_s * _SECONDS_TO_US,
+        "args": args,
+    }
+
+
+def _counter_to_chrome(event: CounterEvent) -> Dict[str, Any]:
+    args: Dict[str, Any] = {"value": event.value}
+    if event.source:
+        args["source"] = event.source
+    return {
+        "name": f"{event.component}.{event.name}",
+        "cat": "counter",
+        "ph": "C",
+        "pid": PID,
+        "tid": TID_OF_COMPONENT[event.component],
+        "ts": event.t_s * _SECONDS_TO_US,
+        "args": args,
+    }
+
+
+def _mark_to_chrome(event: MarkEvent) -> Dict[str, Any]:
+    return {
+        "name": event.name,
+        "cat": "mark",
+        "ph": "i",
+        "s": "g",
+        "pid": PID,
+        "tid": 0,
+        "ts": event.t_s * _SECONDS_TO_US,
+        "args": dict(event.args),
+    }
+
+
+def chrome_trace_dict(
+    events: Iterable[TraceEvent],
+    *,
+    name: str = "repro",
+    other_data: Mapping[str, Any] = (),
+) -> Dict[str, Any]:
+    """Convert events to a Chrome ``trace_event`` JSON-object payload."""
+    trace_events = _metadata_events(name)
+    for event in events:
+        if isinstance(event, SpanEvent):
+            trace_events.append(_span_to_chrome(event))
+        elif isinstance(event, CounterEvent):
+            trace_events.append(_counter_to_chrome(event))
+        elif isinstance(event, MarkEvent):
+            trace_events.append(_mark_to_chrome(event))
+        else:
+            raise TypeError(f"not a trace event: {type(event).__name__}")
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": CHROME_SCHEMA, "name": name, **dict(other_data)},
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    events: Iterable[TraceEvent],
+    *,
+    name: str = "repro",
+    other_data: Mapping[str, Any] = (),
+) -> Dict[str, Any]:
+    """Export events to ``path``; returns the (validated) payload."""
+    payload = chrome_trace_dict(events, name=name, other_data=other_data)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise ValueError(
+            "refusing to write malformed Chrome trace: " + "; ".join(problems)
+        )
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return payload
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Structurally check a Chrome ``trace_event`` JSON-object payload.
+
+    Returns a list of human-readable problems; an empty list means the
+    payload is loadable by Perfetto / ``chrome://tracing``.  Only the
+    subset this exporter emits is checked (complete, counter, instant,
+    and metadata phases).
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: bad phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing event name")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        if not isinstance(event.get("tid"), int):
+            problems.append(f"{where}: missing integer tid")
+        if phase != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: missing non-negative ts")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event needs non-negative dur")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter event needs args")
+            elif not all(
+                isinstance(value, (int, float)) and not isinstance(value, bool)
+                for key, value in args.items()
+                if key == "value"
+            ):
+                problems.append(f"{where}: counter 'value' must be numeric")
+        if phase == "i" and event.get("s") not in ("g", "p", "t"):
+            problems.append(f"{where}: instant event needs scope s in g/p/t")
+        if phase == "M" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: metadata event needs args")
+    return problems

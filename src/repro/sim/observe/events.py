@@ -1,0 +1,164 @@
+"""Typed trace events emitted by the discrete-event engine.
+
+The engine's hook points (:meth:`repro.sim.engine.Engine._execute`,
+``_refine_bandwidth``, ``_drain_caches``) emit three event shapes:
+
+* :class:`SpanEvent` — an activity interval on one component (a stage
+  execution, a CPU launch sliver, CPU page-fault service).
+* :class:`CounterEvent` — a point sample of a named counter (off-chip
+  reads/writes, copy-link bytes, bandwidth shares, on-chip transfers).
+* :class:`MarkEvent` — an instantaneous marker (end of the region of
+  interest).
+
+Event and category names are part of the public taxonomy documented in
+``docs/TRACING.md``; tools (the Chrome exporter, the invariant monitor,
+the differential tests) match on them, so treat the constants below as
+stable identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Union
+
+# -- span categories ----------------------------------------------------------
+
+#: A pipeline stage executing on its component.
+SPAN_STAGE = "stage"
+#: The CPU-issued launch sliver preceding a kernel or copy.
+SPAN_LAUNCH = "launch"
+#: CPU time spent servicing GPU page faults during a kernel.
+SPAN_FAULT = "fault"
+
+SPAN_CATEGORIES = (SPAN_STAGE, SPAN_LAUNCH, SPAN_FAULT)
+
+# -- counter names ------------------------------------------------------------
+
+#: Off-chip read accesses reaching DRAM (value = access count).
+CTR_DRAM_READS = "dram.reads"
+#: Off-chip write accesses reaching DRAM (value = access count).
+CTR_DRAM_WRITES = "dram.writes"
+#: Bytes entering the copy link (PCIe on the discrete system, the shared
+#: memory pool on the heterogeneous processor).
+CTR_LINK_BYTES_IN = "link.bytes_in"
+#: Bytes leaving the copy link.
+CTR_LINK_BYTES_OUT = "link.bytes_out"
+#: Effective bandwidth share granted to a stage (value = bytes/second).
+CTR_BW_SHARE = "bw.share"
+#: On-chip cache-to-cache transfers (heterogeneous processor).
+CTR_ONCHIP_TRANSFERS = "onchip.transfers"
+
+COUNTER_NAMES = (
+    CTR_DRAM_READS,
+    CTR_DRAM_WRITES,
+    CTR_LINK_BYTES_IN,
+    CTR_LINK_BYTES_OUT,
+    CTR_BW_SHARE,
+    CTR_ONCHIP_TRANSFERS,
+)
+
+# -- DRAM counter sources -----------------------------------------------------
+
+#: A compute stage's own stream missing all the way to memory.
+SRC_STAGE = "stage"
+#: CPU zeroing of freshly mapped pages (page-fault model).
+SRC_ZERO = "zero"
+#: Pre-DMA flush writebacks of dirty source lines.
+SRC_FLUSH = "flush"
+#: The DMA engine's own reads/writes of copied lines.
+SRC_COPY = "copy"
+#: End-of-ROI drain of dirty cache lines.
+SRC_DRAIN = "drain"
+
+DRAM_SOURCES = (SRC_STAGE, SRC_ZERO, SRC_FLUSH, SRC_COPY, SRC_DRAIN)
+
+#: DRAM sources counted in a :class:`~repro.sim.results.StageRecord`'s
+#: ``offchip_reads`` / ``offchip_writes`` (zeroing and drain traffic is
+#: logged but not attributed to any stage record).
+RECORD_READ_SOURCES = (SRC_STAGE, SRC_COPY)
+RECORD_WRITE_SOURCES = (SRC_STAGE, SRC_COPY, SRC_FLUSH)
+
+# -- marks --------------------------------------------------------------------
+
+#: End of the simulated region of interest (t = roi_s).
+MARK_ROI_END = "roi.end"
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """An activity interval on one component."""
+
+    category: str
+    name: str
+    component: str
+    start_s: float
+    end_s: float
+    #: Stage ordinal the span belongs to; -1 when not stage-attributed.
+    ordinal: int = -1
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """A point sample of one named counter."""
+
+    name: str
+    component: str
+    t_s: float
+    value: float
+    #: Stage ordinal the sample is attributed to; -1 when not attributed.
+    ordinal: int = -1
+    #: For ``dram.*`` counters: which mechanism produced the traffic
+    #: (one of :data:`DRAM_SOURCES`); empty otherwise.
+    source: str = ""
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MarkEvent:
+    """An instantaneous, global marker."""
+
+    name: str
+    t_s: float
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+
+TraceEvent = Union[SpanEvent, CounterEvent, MarkEvent]
+
+
+def event_to_dict(event: TraceEvent) -> Mapping[str, Any]:
+    """Flatten one event to a JSON-compatible dict (the JSONL schema)."""
+    if isinstance(event, SpanEvent):
+        return {
+            "type": "span",
+            "category": event.category,
+            "name": event.name,
+            "component": event.component,
+            "start_s": event.start_s,
+            "end_s": event.end_s,
+            "ordinal": event.ordinal,
+            "args": dict(event.args),
+        }
+    if isinstance(event, CounterEvent):
+        return {
+            "type": "counter",
+            "name": event.name,
+            "component": event.component,
+            "t_s": event.t_s,
+            "value": event.value,
+            "ordinal": event.ordinal,
+            "source": event.source,
+            "args": dict(event.args),
+        }
+    if isinstance(event, MarkEvent):
+        return {
+            "type": "mark",
+            "name": event.name,
+            "t_s": event.t_s,
+            "args": dict(event.args),
+        }
+    raise TypeError(f"not a trace event: {type(event).__name__}")

@@ -1,0 +1,290 @@
+"""Online invariant monitoring: conservation laws of the simulation.
+
+The :class:`InvariantMonitor` is a trace sink that accumulates the
+engine's span/counter events during a run and, when the run finishes,
+checks them against the completed :class:`~repro.sim.results.SimResult`.
+Every check is a conservation law the discrete-event model must satisfy
+by construction, so any violation is an engine (or event-emission) bug —
+the runtime analogue of the static lint rules in :mod:`repro.analysis`.
+
+Catalogue (stable IDs; see docs/TRACING.md):
+
+* **INV001 busy-span conservation** — each component's busy time in the
+  result equals the merged time of the spans emitted for it.
+* **INV002 link byte conservation** — for every copy stage, the bytes
+  entering the copy link equal the bytes leaving it.
+* **INV003 DRAM log conservation** — per-stage ``offchip_accesses`` match
+  the DRAM counter events, and (when the off-chip log is collected) the
+  logged accesses per stage ordinal match the counters exactly.
+* **INV004 ROI partition** — the activity breakdown (exclusive +
+  overlapped + idle time) sums to the ROI.
+* **INV005 span bounds** — every span lies within ``[0, roi]``.
+
+Violations are recorded on ``SimResult.violations`` (``mode="record"``,
+the default) or raised as :class:`InvariantError` (``mode="raise"``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.sim.hierarchy import Component
+from repro.sim.observe.events import (
+    CTR_DRAM_READS,
+    CTR_DRAM_WRITES,
+    CTR_LINK_BYTES_IN,
+    CTR_LINK_BYTES_OUT,
+    CounterEvent,
+    MarkEvent,
+    RECORD_READ_SOURCES,
+    RECORD_WRITE_SOURCES,
+    SpanEvent,
+    TraceEvent,
+)
+from repro.sim.observe.sinks import BaseSink
+from repro.sim.results import (
+    Interval,
+    InvariantViolation,
+    SimResult,
+    total_time,
+)
+
+#: The invariant catalogue: stable ID -> one-line description.
+INVARIANTS = {
+    "INV001": "component busy time equals the merged time of its spans",
+    "INV002": "bytes entering the copy link equal bytes leaving it",
+    "INV003": "per-stage offchip accesses match the DRAM counter events",
+    "INV004": "activity breakdown (exclusive+overlapped+idle) sums to ROI",
+    "INV005": "every span lies within [0, roi]",
+}
+
+#: Relative tolerance for the float equalities.  The monitor re-derives
+#: quantities from the very same floats the engine used, so this only
+#: absorbs summation-order noise.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+class InvariantError(RuntimeError):
+    """Raised by a monitor in ``raise`` mode; carries the violations."""
+
+    def __init__(self, violations: Tuple[InvariantViolation, ...]):
+        self.violations = violations
+        lines = [f"{len(violations)} invariant violation(s):"]
+        lines += [f"  [{v.rule}] {v.message}" for v in violations]
+        super().__init__("\n".join(lines))
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+class InvariantMonitor(BaseSink):
+    """Checks the conservation laws over one simulation run.
+
+    Args:
+        mode: ``"record"`` stores violations on ``SimResult.violations``;
+            ``"raise"`` additionally raises :class:`InvariantError` from
+            ``finish`` when any law is broken.
+    """
+
+    def __init__(self, mode: str = "record"):
+        if mode not in ("record", "raise"):
+            raise ValueError(f"unknown monitor mode {mode!r}")
+        self.mode = mode
+        self.violations: Tuple[InvariantViolation, ...] = ()
+        self._spans: Dict[str, List[Interval]] = defaultdict(list)
+        self._span_bounds: List[SpanEvent] = []
+        # (reads, writes) DRAM access counts per (ordinal, source).
+        self._dram: Dict[Tuple[int, str], List[float]] = defaultdict(
+            lambda: [0.0, 0.0]
+        )
+        self._link: Dict[int, List[float]] = defaultdict(lambda: [0.0, 0.0])
+        self.events_seen = 0
+
+    # -- accumulation ---------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        if isinstance(event, SpanEvent):
+            self._spans[event.component].append(
+                Interval(event.start_s, event.end_s)
+            )
+            self._span_bounds.append(event)
+        elif isinstance(event, CounterEvent):
+            if event.name == CTR_DRAM_READS:
+                self._dram[(event.ordinal, event.source)][0] += event.value
+            elif event.name == CTR_DRAM_WRITES:
+                self._dram[(event.ordinal, event.source)][1] += event.value
+            elif event.name == CTR_LINK_BYTES_IN:
+                self._link[event.ordinal][0] += event.value
+            elif event.name == CTR_LINK_BYTES_OUT:
+                self._link[event.ordinal][1] += event.value
+        elif not isinstance(event, MarkEvent):
+            raise TypeError(f"not a trace event: {type(event).__name__}")
+
+    # -- checks ---------------------------------------------------------------
+
+    def finish(self, result: SimResult) -> None:
+        found: List[InvariantViolation] = []
+        found += self._check_busy_spans(result)
+        found += self._check_link_bytes(result)
+        found += self._check_dram_log(result)
+        found += self._check_roi_partition(result)
+        found += self._check_span_bounds(result)
+        self.violations = tuple(found)
+        if self.mode == "raise" and self.violations:
+            raise InvariantError(self.violations)
+
+    def _check_busy_spans(self, result: SimResult) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        for component in Component:
+            recorded = result.busy_time(component)
+            observed = total_time(self._spans.get(component.value, []))
+            if not _close(recorded, observed):
+                out.append(
+                    InvariantViolation(
+                        rule="INV001",
+                        message=(
+                            f"{component.value} busy time {recorded!r} != "
+                            f"span-derived time {observed!r}"
+                        ),
+                        component=component.value,
+                        measured=observed,
+                        expected=recorded,
+                    )
+                )
+        return out
+
+    def _check_link_bytes(self, result: SimResult) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        for ordinal in sorted(self._link):
+            bytes_in, bytes_out = self._link[ordinal]
+            if not _close(bytes_in, bytes_out):
+                out.append(
+                    InvariantViolation(
+                        rule="INV002",
+                        message=(
+                            f"copy stage ordinal {ordinal}: {bytes_in:.0f} "
+                            f"bytes entered the link, {bytes_out:.0f} left it"
+                        ),
+                        ordinal=ordinal,
+                        component=Component.COPY.value,
+                        measured=bytes_out,
+                        expected=bytes_in,
+                    )
+                )
+        return out
+
+    def _dram_counts(self, ordinal: int, sources) -> Tuple[float, float]:
+        reads = sum(self._dram[(ordinal, src)][0] for src in sources)
+        writes = sum(self._dram[(ordinal, src)][1] for src in sources)
+        return reads, writes
+
+    def _check_dram_log(self, result: SimResult) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        # (a) every stage record's off-chip counts match the counters
+        #     attributed to it (zero/drain traffic is deliberately outside
+        #     the records; see events.RECORD_*_SOURCES).
+        for record in result.stages:
+            reads, _ = self._dram_counts(record.ordinal, RECORD_READ_SOURCES)
+            _, writes = self._dram_counts(record.ordinal, RECORD_WRITE_SOURCES)
+            if reads != record.offchip_reads or writes != record.offchip_writes:
+                out.append(
+                    InvariantViolation(
+                        rule="INV003",
+                        message=(
+                            f"stage {record.name!r} (ordinal {record.ordinal}) "
+                            f"records {record.offchip_reads}r/"
+                            f"{record.offchip_writes}w off-chip but counters "
+                            f"say {reads:.0f}r/{writes:.0f}w"
+                        ),
+                        ordinal=record.ordinal,
+                        component=record.component.value,
+                        measured=reads + writes,
+                        expected=record.offchip_accesses,
+                    )
+                )
+        # (b) with the log collected, logged accesses per ordinal equal the
+        #     counter totals for that ordinal, across every source.
+        if len(result.log_blocks):
+            logged_reads: Dict[int, int] = defaultdict(int)
+            logged_writes: Dict[int, int] = defaultdict(int)
+            ordinals, counts = np.unique(
+                result.log_stage[~result.log_is_write], return_counts=True
+            )
+            for ordinal, count in zip(ordinals, counts):
+                logged_reads[int(ordinal)] = int(count)
+            ordinals, counts = np.unique(
+                result.log_stage[result.log_is_write], return_counts=True
+            )
+            for ordinal, count in zip(ordinals, counts):
+                logged_writes[int(ordinal)] = int(count)
+            counted_reads: Dict[int, float] = defaultdict(float)
+            counted_writes: Dict[int, float] = defaultdict(float)
+            for (ordinal, _source), (reads, writes) in self._dram.items():
+                counted_reads[ordinal] += reads
+                counted_writes[ordinal] += writes
+            for ordinal in sorted(
+                set(logged_reads) | set(logged_writes)
+                | set(counted_reads) | set(counted_writes)
+            ):
+                got = (logged_reads[ordinal], logged_writes[ordinal])
+                want = (counted_reads[ordinal], counted_writes[ordinal])
+                if got != want:
+                    out.append(
+                        InvariantViolation(
+                            rule="INV003",
+                            message=(
+                                f"off-chip log holds {got[0]}r/{got[1]}w for "
+                                f"ordinal {ordinal} but counters say "
+                                f"{want[0]:.0f}r/{want[1]:.0f}w"
+                            ),
+                            ordinal=ordinal,
+                            measured=float(sum(got)),
+                            expected=float(sum(want)),
+                        )
+                    )
+        return out
+
+    def _check_roi_partition(self, result: SimResult) -> List[InvariantViolation]:
+        activity = result.activity()
+        covered = sum(activity.values())
+        if not _close(covered, result.roi_s):
+            return [
+                InvariantViolation(
+                    rule="INV004",
+                    message=(
+                        f"activity breakdown covers {covered!r}s of a "
+                        f"{result.roi_s!r}s ROI"
+                    ),
+                    measured=covered,
+                    expected=result.roi_s,
+                )
+            ]
+        return []
+
+    def _check_span_bounds(self, result: SimResult) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        limit = result.roi_s * (1.0 + REL_TOL) + ABS_TOL
+        for span in self._span_bounds:
+            if span.start_s < -ABS_TOL or span.end_s > limit:
+                out.append(
+                    InvariantViolation(
+                        rule="INV005",
+                        message=(
+                            f"span {span.name!r} [{span.start_s!r}, "
+                            f"{span.end_s!r}] escapes the ROI "
+                            f"[0, {result.roi_s!r}]"
+                        ),
+                        ordinal=span.ordinal,
+                        component=span.component,
+                        measured=span.end_s,
+                        expected=result.roi_s,
+                    )
+                )
+        return out

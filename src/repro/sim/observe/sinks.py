@@ -1,0 +1,143 @@
+"""Trace sinks: where engine events go.
+
+A sink is anything implementing the two-method :class:`TraceSink`
+protocol.  The engine calls ``emit`` for every event in simulation order
+and ``finish`` exactly once with the completed
+:class:`~repro.sim.results.SimResult` (before returning it), so sinks can
+both stream events out and run whole-run analyses.
+
+Attaching sinks is observation-only by contract: no sink can change the
+simulation's outcome, and the differential tests assert results are
+bit-identical with and without sinks attached.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Dict, Iterable, List, Optional, Protocol, Union, runtime_checkable
+
+from repro.sim.hierarchy import Component
+from repro.sim.observe.events import (
+    CounterEvent,
+    MarkEvent,
+    SpanEvent,
+    TraceEvent,
+    event_to_dict,
+)
+from repro.sim.results import Interval, SimResult
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Receiver of engine trace events."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Handle one event (called in simulation order)."""
+
+    def finish(self, result: SimResult) -> None:
+        """Called once when the run completes, with the final result."""
+
+
+class BaseSink:
+    """Convenience base: no-op ``finish`` so sinks only implement ``emit``."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def finish(self, result: SimResult) -> None:
+        return None
+
+
+class TraceRecorder(BaseSink):
+    """Buffers every event in memory, in emission order."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.result: Optional[SimResult] = None
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def finish(self, result: SimResult) -> None:
+        self.result = result
+
+    # -- views ---------------------------------------------------------------
+
+    def spans(self, category: Optional[str] = None) -> List[SpanEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, SpanEvent)
+            and (category is None or e.category == category)
+        ]
+
+    def counters(self, name: Optional[str] = None) -> List[CounterEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, CounterEvent) and (name is None or e.name == name)
+        ]
+
+    def marks(self, name: Optional[str] = None) -> List[MarkEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, MarkEvent) and (name is None or e.name == name)
+        ]
+
+
+class JsonlSink(BaseSink):
+    """Streams events as one JSON object per line (compact JSONL).
+
+    Accepts an open text handle or a path; with a path the file is opened
+    on first event and closed by ``finish``/``close``.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        self._path: Optional[Path] = None
+        self._handle: Optional[IO[str]] = None
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+        else:
+            self._handle = target
+        self.events_written = 0
+
+    def _out(self) -> IO[str]:
+        if self._handle is None:
+            assert self._path is not None
+            self._handle = open(self._path, "w", encoding="utf-8")
+        return self._handle
+
+    def emit(self, event: TraceEvent) -> None:
+        json.dump(event_to_dict(event), self._out(), separators=(",", ":"))
+        self._out().write("\n")
+        self.events_written += 1
+
+    def finish(self, result: SimResult) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._path is not None and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def busy_from_spans(
+    events: Iterable[TraceEvent],
+) -> Dict[Component, List[Interval]]:
+    """Rebuild the per-component busy-interval map purely from span events.
+
+    Mirrors the engine's own accounting: a component is busy during its
+    stage spans, the CPU additionally during launch slivers and page-fault
+    service.  The differential tests assert this reconstruction agrees
+    exactly with :attr:`SimResult.busy`.
+    """
+    busy: Dict[Component, List[Interval]] = {comp: [] for comp in Component}
+    by_value = {comp.value: comp for comp in Component}
+    for event in events:
+        if isinstance(event, SpanEvent):
+            busy[by_value[event.component]].append(
+                Interval(event.start_s, event.end_s)
+            )
+    return busy

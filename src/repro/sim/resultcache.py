@@ -21,6 +21,10 @@ hash randomization, and restarts.  Entries round-trip through the lossless
 ``repro.sim_result/v2-full`` schema of :mod:`repro.sim.serialize` and are
 gzip-compressed; writes are atomic (temp file + ``os.replace``), so
 concurrent sweep workers sharing one cache directory cannot corrupt it.
+The v2-full schema is forward-compatible with optional result fields
+(``violations`` from the invariant monitor): entries written before a
+field existed still load, defaulting it — stale *semantics* are instead
+caught by the :data:`~repro.sim.engine.ENGINE_VERSION` tag in the key.
 
 The default location is ``~/.cache/repro-sweeps``, overridable with the
 ``REPRO_CACHE_DIR`` environment variable or an explicit ``cache_dir``.

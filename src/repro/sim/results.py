@@ -73,6 +73,23 @@ class StageRecord:
         return self.offchip_reads + self.offchip_writes
 
 
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One conservation law the invariant monitor saw broken.
+
+    ``rule`` is a stable identifier from the catalogue in
+    ``docs/TRACING.md`` (INV001..); ``measured``/``expected`` carry the
+    two sides of the broken equality when the law is numeric.
+    """
+
+    rule: str
+    message: str
+    ordinal: int = -1
+    component: str = ""
+    measured: float = 0.0
+    expected: float = 0.0
+
+
 ActivityMask = FrozenSet[Component]
 
 
@@ -131,6 +148,10 @@ class SimResult:
     touched_blocks: Dict[Component, np.ndarray] = field(default_factory=dict)
     total_flops: float = 0.0
     flops_by_component: Dict[Component, float] = field(default_factory=dict)
+    # Conservation-law violations found by an attached InvariantMonitor
+    # (repro.sim.observe); empty for untraced runs and for clean traced
+    # runs, so attaching the monitor is observation-only in the clean case.
+    violations: Tuple[InvariantViolation, ...] = ()
 
     # -- time ---------------------------------------------------------------
 

@@ -22,7 +22,12 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.sim.hierarchy import Component
-from repro.sim.results import Interval, SimResult, StageRecord
+from repro.sim.results import (
+    Interval,
+    InvariantViolation,
+    SimResult,
+    StageRecord,
+)
 from repro.sim.timing import StageTiming
 from repro.pipeline.stage import StageKind
 
@@ -142,6 +147,21 @@ def result_to_full_dict(result: SimResult) -> Dict[str, Any]:
         component.value: flops
         for component, flops in result.flops_by_component.items()
     }
+    # Optional (engine >= repro-sim/2): invariant-monitor findings.  Only
+    # written when present so clean traces stay byte-compatible with
+    # pre-violations archives.
+    if result.violations:
+        payload["violations"] = [
+            {
+                "rule": violation.rule,
+                "message": violation.message,
+                "ordinal": violation.ordinal,
+                "component": violation.component,
+                "measured": violation.measured,
+                "expected": violation.expected,
+            }
+            for violation in result.violations
+        ]
     return payload
 
 
@@ -207,6 +227,19 @@ def result_from_dict(payload: Dict[str, Any]) -> SimResult:
             Component(name): float(flops)
             for name, flops in payload["flops_by_component"].items()
         },
+        # Absent from archives written before engine repro-sim/2; default
+        # to "no violations" so old cache entries keep deserializing.
+        violations=tuple(
+            InvariantViolation(
+                rule=entry["rule"],
+                message=entry["message"],
+                ordinal=int(entry.get("ordinal", -1)),
+                component=entry.get("component", ""),
+                measured=float(entry.get("measured", 0.0)),
+                expected=float(entry.get("expected", 0.0)),
+            )
+            for entry in payload.get("violations", [])
+        ),
     )
 
 

@@ -12,7 +12,7 @@ overlap opportunities live.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.sim.hierarchy import Component
 from repro.sim.results import Interval, SimResult, merge_intervals
@@ -46,6 +46,36 @@ def render_timeline(result: SimResult, width: int = 72) -> str:
         lane = _lane(result.busy.get(component, []), result.roi_s, width)
         busy = result.busy_time(component)
         share = busy / result.roi_s if result.roi_s else 0.0
+        lines.append(f"{component.value:<5s}|{lane}| {share:>4.0%}")
+    ruler = "-" * width
+    lines.append(f"     +{ruler}+")
+    return "\n".join(lines)
+
+
+def render_trace_timeline(
+    events: Iterable["TraceEvent"], title: str = "trace", width: int = 72
+) -> str:
+    """Render an ASCII Gantt chart purely from emitted trace events.
+
+    The same lane view as :func:`render_timeline`, but reconstructed from
+    a run's span events (:mod:`repro.sim.observe`) instead of its
+    :class:`SimResult` — what the ``repro trace`` command prints when no
+    output file is requested.
+    """
+    from repro.sim.observe.sinks import busy_from_spans
+
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    busy = busy_from_spans(events)
+    roi_s = max(
+        (iv.end for intervals in busy.values() for iv in intervals), default=0.0
+    )
+    lines: List[str] = [f"{title} (ROI {roi_s:.6f}s, from trace events)"]
+    for component in LANE_ORDER:
+        intervals = busy.get(component, [])
+        lane = _lane(intervals, roi_s, width)
+        busy_s = sum(iv.length for iv in merge_intervals(list(intervals)))
+        share = busy_s / roi_s if roi_s else 0.0
         lines.append(f"{component.value:<5s}|{lane}| {share:>4.0%}")
     ruler = "-" * width
     lines.append(f"     +{ruler}+")

@@ -1,0 +1,135 @@
+"""Golden-trace regression tests.
+
+Exports the full Chrome ``trace_event`` payload of three representative
+benchmarks — a dense regular producer-consumer run (kmeans), an irregular
+producer-consumer run (spmv), and a software-worklist run (bfs) — at
+``TINY_SCALE`` and compares them against checked-in fixtures under
+``tests/golden/traces/``.  The engine is deterministic, so any drift in
+event count, ordering, lane assignment, timestamps, or counter values
+means the tracing hooks (or the engine itself) changed behaviour.  If the
+change is intentional, refresh with::
+
+    python -m pytest tests/test_golden_traces.py --update-goldens
+
+and commit the updated fixtures (bumping
+``repro.sim.engine.ENGINE_VERSION`` if simulation semantics moved too).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.config.system import discrete_gpu_system
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.observe import (
+    InvariantMonitor,
+    TraceRecorder,
+    chrome_trace_dict,
+    validate_chrome_trace,
+)
+from repro.workloads.registry import get
+
+from tests.conftest import TINY_SCALE
+
+TRACE_GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden" / "traces"
+
+#: Representative coverage of the Table II workload constructs: one dense
+#: regular producer-consumer benchmark, one irregular producer-consumer
+#: benchmark, and one software-worklist benchmark.
+TRACE_BENCHMARKS = (
+    "rodinia/kmeans",
+    "parboil/spmv",
+    "lonestar/bfs",
+)
+
+#: Timestamps are microseconds derived from double-precision seconds; the
+#: runs are deterministic so this only absorbs libm noise.
+REL_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")
+
+
+def _slug(name: str) -> str:
+    return name.replace("/", "_")
+
+
+def _export(name: str) -> dict:
+    spec = get(name)
+    recorder = TraceRecorder()
+    monitor = InvariantMonitor(mode="raise")
+    simulate(
+        spec.pipeline(),
+        discrete_gpu_system(),
+        SimOptions(scale=TINY_SCALE),
+        sinks=[recorder, monitor],
+    )
+    return chrome_trace_dict(
+        recorder.events, name=name, other_data={"system": "discrete"}
+    )
+
+
+def _assert_close(golden, actual, path=""):
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: type changed"
+        assert sorted(golden) == sorted(actual), f"{path}: keys changed"
+        for key in golden:
+            _assert_close(golden[key], actual[key], f"{path}/{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list) and len(golden) == len(actual), (
+            f"{path}: event count changed"
+        )
+        for index, (g, a) in enumerate(zip(golden, actual)):
+            _assert_close(g, a, f"{path}[{index}]")
+    elif isinstance(golden, float) or isinstance(actual, float):
+        assert math.isclose(
+            float(golden), float(actual), rel_tol=REL_TOL, abs_tol=1e-15
+        ), f"{path}: {golden} != {actual}"
+    else:
+        assert golden == actual, f"{path}: {golden} != {actual}"
+
+
+def _check_golden(name: str, payload: dict, update: bool) -> None:
+    path = TRACE_GOLDEN_DIR / f"{_slug(name)}.json"
+    if update:
+        TRACE_GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        return
+    assert path.is_file(), (
+        f"missing golden trace {path}; generate it with "
+        f"pytest tests/test_golden_traces.py --update-goldens"
+    )
+    _assert_close(json.loads(path.read_text()), payload, name)
+
+
+@pytest.mark.parametrize("bench_name", TRACE_BENCHMARKS)
+def test_trace_matches_golden(bench_name, update_goldens):
+    payload = _export(bench_name)
+    assert validate_chrome_trace(payload) == []
+    _check_golden(bench_name, payload, update_goldens)
+
+
+@pytest.mark.parametrize("bench_name", TRACE_BENCHMARKS)
+def test_checked_in_golden_is_schema_clean(bench_name, update_goldens):
+    """The fixtures themselves must stay Perfetto-loadable."""
+    if update_goldens:
+        pytest.skip("goldens being rewritten")
+    path = TRACE_GOLDEN_DIR / f"{_slug(bench_name)}.json"
+    assert path.is_file(), f"missing golden trace {path}"
+    payload = json.loads(path.read_text())
+    assert validate_chrome_trace(payload) == []
+    assert payload["otherData"]["name"] == bench_name
+
+
+def test_trace_benchmarks_cover_the_constructs():
+    """kmeans: dense regular PC; spmv: irregular PC; bfs: sw-worklist."""
+    kmeans, spmv, bfs = (get(name) for name in TRACE_BENCHMARKS)
+    assert kmeans.regular_pc and not kmeans.irregular and not kmeans.sw_queue
+    assert spmv.pc_comm and spmv.irregular and not spmv.sw_queue
+    assert bfs.sw_queue

@@ -1,0 +1,94 @@
+"""Registry-wide conservation sweep: the runtime analogue of clean-lint.
+
+Runs the :class:`~repro.sim.observe.InvariantMonitor` over every
+simulatable benchmark in both system forms (46 x 2) and asserts zero
+conservation-law violations.  Any failure here means the engine broke an
+accounting identity — busy-time bookkeeping, copy-link byte balance,
+DRAM log attribution, or the ROI partition — even if every figure still
+renders plausible numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.system import discrete_gpu_system, heterogeneous_processor
+from repro.pipeline.transforms import remove_copies
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.observe import INVARIANTS, InvariantError, InvariantMonitor
+from repro.workloads.registry import simulatable_specs
+
+from tests.conftest import TINY_SCALE
+
+ALL_BENCHMARKS = [spec.full_name for spec in simulatable_specs()]
+
+
+def _run_monitored(spec, version: str):
+    pipeline = spec.pipeline()
+    if version == "limited-copy":
+        pipeline = remove_copies(pipeline)
+        system = heterogeneous_processor()
+    else:
+        system = discrete_gpu_system()
+    monitor = InvariantMonitor(mode="record")
+    result = simulate(
+        pipeline, system, SimOptions(scale=TINY_SCALE), sinks=[monitor]
+    )
+    return result, monitor
+
+
+@pytest.mark.parametrize("bench_name", ALL_BENCHMARKS)
+@pytest.mark.parametrize("version", ["copy", "limited-copy"])
+def test_registry_runs_conserve(bench_name, version):
+    from repro.workloads.registry import get
+
+    result, monitor = _run_monitored(get(bench_name), version)
+    assert monitor.events_seen > 0, "engine emitted no events while traced"
+    assert result.violations == (), [
+        f"[{v.rule}] {v.message}" for v in result.violations
+    ]
+
+
+def test_monitor_raise_mode_is_clean_on_a_real_run():
+    """'raise' mode passes silently on a correct engine."""
+    from repro.workloads.registry import get
+
+    spec = get("rodinia/kmeans")
+    monitor = InvariantMonitor(mode="raise")
+    result = simulate(
+        spec.pipeline(),
+        discrete_gpu_system(),
+        SimOptions(scale=TINY_SCALE),
+        sinks=[monitor],
+    )
+    assert result.violations == ()
+
+
+def test_monitor_raise_mode_detects_tampering():
+    """A cooked result (wrong busy time) trips INV001 and raises."""
+    from repro.workloads.registry import get
+
+    spec = get("rodinia/kmeans")
+    monitor = InvariantMonitor(mode="raise")
+    recorder_result = simulate(
+        spec.pipeline(),
+        discrete_gpu_system(),
+        SimOptions(scale=TINY_SCALE),
+        sinks=[monitor],
+    )
+    # Re-check the same accumulated events against a falsified result.
+    tampered = recorder_result
+    tampered.busy = dict(tampered.busy)
+    from repro.sim.hierarchy import Component
+    from repro.sim.results import Interval
+
+    tampered.busy[Component.GPU] = [Interval(0.0, tampered.roi_s * 2.0)]
+    with pytest.raises(InvariantError) as excinfo:
+        monitor.finish(tampered)
+    assert any(v.rule == "INV001" for v in excinfo.value.violations)
+
+
+def test_invariant_catalogue_ids_are_stable():
+    assert set(INVARIANTS) == {"INV001", "INV002", "INV003", "INV004", "INV005"}
+    for rule_id, description in INVARIANTS.items():
+        assert rule_id.startswith("INV") and description

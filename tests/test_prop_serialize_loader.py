@@ -7,8 +7,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config.system import discrete_gpu_system
-from repro.sim.engine import SimOptions, simulate
-from repro.sim.serialize import result_to_dict, result_to_json, summary_from_json
+from repro.sim.engine import ENGINE_VERSION, SimOptions, simulate
+from repro.sim.resultcache import cache_key
+from repro.sim.results import InvariantViolation
+from repro.sim.serialize import (
+    result_from_dict,
+    result_to_dict,
+    result_to_full_dict,
+    result_to_json,
+    results_identical,
+    summary_from_json,
+)
 from repro.workloads.loader import parse_size, pipeline_from_dict
 
 from tests.conftest import TINY_SCALE
@@ -119,3 +128,84 @@ def test_include_log_round_trips_counts(spec):
     payload = json.loads(result_to_json(result, include_log=True))
     assert len(payload["log"]["blocks"]) == result.offchip_accesses()
     assert len(payload["log"]["is_write"]) == result.offchip_accesses()
+
+
+# --- v2-full compatibility across the observe layer --------------------------
+
+
+def _small_result():
+    spec = {
+        "name": "compat/app",
+        "buffers": [{"name": "buf0", "size": 512 * 1024}],
+        "stages": [
+            {
+                "op": "gpu",
+                "name": "s0",
+                "flops": 1e6,
+                "reads": [{"buffer": "buf0", "pattern": "streaming"}],
+            }
+        ],
+    }
+    return simulate(
+        pipeline_from_dict(spec),
+        discrete_gpu_system(),
+        SimOptions(scale=TINY_SCALE),
+    )
+
+
+def test_old_v2_full_payloads_still_deserialize():
+    """Pre-violations cache entries (no 'violations' key) must load."""
+    result = _small_result()
+    payload = result_to_full_dict(result)
+    # A clean result never writes the key, so stored payloads from before
+    # the field existed and stored payloads from after are byte-identical.
+    assert "violations" not in payload
+    legacy = json.loads(json.dumps(payload))
+    legacy.pop("violations", None)
+    restored = result_from_dict(legacy)
+    assert restored.violations == ()
+    assert results_identical(result, restored)
+
+
+def test_violations_round_trip_through_v2_full():
+    import copy
+
+    flagged = copy.copy(_small_result())
+    flagged.violations = (
+        InvariantViolation(
+            rule="INV001",
+            message="busy mismatch",
+            ordinal=3,
+            component="gpu",
+            measured=1.5,
+            expected=1.0,
+        ),
+    )
+    payload = result_to_full_dict(flagged)
+    assert [entry["rule"] for entry in payload["violations"]] == ["INV001"]
+    restored = result_from_dict(json.loads(json.dumps(payload)))
+    assert restored.violations == flagged.violations
+    assert results_identical(flagged, restored)
+
+
+def test_engine_version_bump_invalidates_cache_keys():
+    """Stale persistent entries are unreachable after an engine bump."""
+    from repro.config.system import discrete_gpu_system as system_factory
+    from repro.workloads.registry import get
+
+    spec = get("rodinia/kmeans")
+    options = SimOptions(scale=TINY_SCALE)
+    system = system_factory()
+    current = cache_key(spec, "copy", system, options)
+    assert current == cache_key(
+        spec, "copy", system, options, engine_version=ENGINE_VERSION
+    )
+    previous = cache_key(
+        spec, "copy", system, options, engine_version="repro-sim/1"
+    )
+    assert previous != current
+
+
+def test_engine_version_reflects_the_violations_field():
+    """The observe layer shipped with a version bump: v1 keys are stale."""
+    assert ENGINE_VERSION == "repro-sim/2"

@@ -1,0 +1,227 @@
+"""Differential trace/result tests: events are a faithful, passive view.
+
+Two families of checks:
+
+* *Reconstruction* — ``busy_time``, ``utilization``, and
+  ``activity_breakdown`` rebuilt purely from emitted span events agree
+  exactly with the :class:`SimResult` the same run returned.
+* *Observation-only* — attaching any sink (recorder, JSONL writer,
+  invariant monitor, or a junk sink) never changes the ``SimResult``;
+  traced and untraced runs are identical in every serialized field.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.config.system import discrete_gpu_system, heterogeneous_processor
+from repro.pipeline.transforms import remove_copies
+from repro.sim.engine import SimOptions, simulate
+from repro.sim.hierarchy import Component
+from repro.sim.observe import (
+    CTR_DRAM_READS,
+    CTR_DRAM_WRITES,
+    InvariantMonitor,
+    JsonlSink,
+    SpanEvent,
+    TraceRecorder,
+    busy_from_spans,
+    chrome_trace_dict,
+    validate_chrome_trace,
+)
+from repro.sim.results import activity_breakdown, total_time
+from repro.sim.serialize import results_identical
+from repro.workloads.loader import pipeline_from_dict
+from repro.workloads.registry import get
+
+from tests.conftest import TINY_SCALE
+from tests.test_prop_serialize_loader import workload_specs
+
+#: A cross-suite sample: graph + worklist, dense, page-fault-heavy, and a
+#: misaligned-after-port representative.
+SAMPLE_BENCHMARKS = (
+    "lonestar/bfs",
+    "pannotia/pr",
+    "parboil/spmv",
+    "rodinia/kmeans",
+    "rodinia/srad",
+)
+
+
+def _traced_run(name: str, version: str):
+    spec = get(name)
+    pipeline = spec.pipeline()
+    if version == "limited-copy":
+        pipeline = remove_copies(pipeline)
+        system = heterogeneous_processor()
+    else:
+        system = discrete_gpu_system()
+    recorder = TraceRecorder()
+    result = simulate(
+        pipeline, system, SimOptions(scale=TINY_SCALE), sinks=[recorder]
+    )
+    return result, recorder
+
+
+@pytest.mark.parametrize("bench_name", SAMPLE_BENCHMARKS)
+@pytest.mark.parametrize("version", ["copy", "limited-copy"])
+class TestReconstruction:
+    def test_busy_time_rebuilds_exactly(self, bench_name, version):
+        result, recorder = _traced_run(bench_name, version)
+        busy = busy_from_spans(recorder.events)
+        for component in Component:
+            assert total_time(busy[component]) == pytest.approx(
+                result.busy_time(component), rel=1e-12, abs=1e-18
+            )
+
+    def test_utilization_rebuilds_exactly(self, bench_name, version):
+        result, recorder = _traced_run(bench_name, version)
+        busy = busy_from_spans(recorder.events)
+        for component in Component:
+            rebuilt = (
+                total_time(busy[component]) / result.roi_s
+                if result.roi_s
+                else 0.0
+            )
+            assert rebuilt == pytest.approx(
+                result.utilization(component), rel=1e-12, abs=1e-18
+            )
+
+    def test_activity_breakdown_rebuilds_exactly(self, bench_name, version):
+        result, recorder = _traced_run(bench_name, version)
+        rebuilt = activity_breakdown(
+            busy_from_spans(recorder.events), result.roi_s
+        )
+        recorded = result.activity()
+        assert set(rebuilt) == set(recorded)
+        for mask, seconds in recorded.items():
+            assert rebuilt[mask] == pytest.approx(seconds, rel=1e-12, abs=1e-18)
+
+    def test_offchip_counters_cover_the_log(self, bench_name, version):
+        result, recorder = _traced_run(bench_name, version)
+        reads = sum(e.value for e in recorder.counters(CTR_DRAM_READS))
+        writes = sum(e.value for e in recorder.counters(CTR_DRAM_WRITES))
+        assert reads == int((~result.log_is_write).sum())
+        assert writes == int(result.log_is_write.sum())
+        assert reads + writes == result.offchip_accesses()
+
+    def test_stage_spans_match_records(self, bench_name, version):
+        result, recorder = _traced_run(bench_name, version)
+        spans = {s.ordinal: s for s in recorder.spans("stage")}
+        assert len(spans) == len(result.stages)
+        for record in result.stages:
+            span = spans[record.ordinal]
+            assert span.name == record.name
+            assert span.component == record.component.value
+            assert span.start_s == record.start_s
+            assert span.end_s == record.end_s
+
+
+# -- observation-only ---------------------------------------------------------
+
+
+class _CountingJunkSink:
+    """A sink that does arbitrary (non-interfering) work per event."""
+
+    def __init__(self):
+        self.count = 0
+        self.finished = False
+
+    def emit(self, event):
+        self.count += 1
+        repr(event)
+
+    def finish(self, result):
+        self.finished = True
+
+
+@given(spec=workload_specs())
+@settings(max_examples=15, deadline=None)
+def test_attaching_sinks_never_changes_the_result(spec):
+    """Hypothesis: tracing is observation-only over generated pipelines."""
+    options = SimOptions(scale=TINY_SCALE)
+    system = discrete_gpu_system()
+    untraced = simulate(pipeline_from_dict(spec), system, options)
+    junk = _CountingJunkSink()
+    traced = simulate(
+        pipeline_from_dict(spec),
+        system,
+        options,
+        sinks=[TraceRecorder(), InvariantMonitor(), junk],
+    )
+    assert junk.finished and junk.count > 0
+    assert results_identical(untraced, traced)
+
+
+@pytest.mark.parametrize("bench_name", ["rodinia/kmeans", "lonestar/bfs"])
+def test_registry_runs_identical_with_and_without_sinks(bench_name):
+    spec = get(bench_name)
+    options = SimOptions(scale=TINY_SCALE)
+    system = discrete_gpu_system()
+    untraced = simulate(spec.pipeline(), system, options)
+    traced = simulate(
+        spec.pipeline(),
+        system,
+        options,
+        sinks=[TraceRecorder(), InvariantMonitor()],
+    )
+    assert results_identical(untraced, traced)
+
+
+# -- exporters ------------------------------------------------------------------
+
+
+def test_jsonl_sink_round_trips_event_stream(tmp_path):
+    spec = get("rodinia/kmeans")
+    path = tmp_path / "events.jsonl"
+    recorder = TraceRecorder()
+    simulate(
+        spec.pipeline(),
+        discrete_gpu_system(),
+        SimOptions(scale=TINY_SCALE),
+        sinks=[recorder, JsonlSink(path)],
+    )
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(recorder.events)
+    kinds = {json.loads(line)["type"] for line in lines}
+    assert {"span", "counter", "mark"} <= kinds
+
+
+def test_chrome_export_of_a_real_run_validates(tmp_path):
+    result, recorder = _traced_run("parboil/spmv", "copy")
+    payload = chrome_trace_dict(recorder.events, name="parboil/spmv")
+    assert validate_chrome_trace(payload) == []
+    span_names = {
+        e["name"]
+        for e in payload["traceEvents"]
+        if e["ph"] == "X" and e["cat"] == "stage"
+    }
+    assert {record.name for record in result.stages} == span_names
+
+
+def test_schema_checker_rejects_malformed_payloads():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) != []
+    bad_events = [
+        {"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0},
+        {"ph": "X", "name": "", "pid": 1, "tid": 1, "ts": 0, "dur": 1},
+        {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": -5, "dur": 1},
+        {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0},
+        {"ph": "C", "name": "x", "pid": 1, "tid": 1, "ts": 0},
+        {"ph": "i", "name": "x", "pid": 1, "tid": 1, "ts": 0, "s": "q"},
+    ]
+    for event in bad_events:
+        problems = validate_chrome_trace({"traceEvents": [event]})
+        assert problems, f"checker accepted malformed event {event}"
+
+
+def test_span_durations_are_nonnegative():
+    _, recorder = _traced_run("rodinia/srad", "limited-copy")
+    for event in recorder.events:
+        if isinstance(event, SpanEvent):
+            assert event.duration_s >= 0.0
+            assert not math.isnan(event.duration_s)

@@ -31,6 +31,14 @@ fan the sweep out over a process pool, and ``--cache-dir``/``--no-cache``
 to control the persistent result cache (default ``~/.cache/repro-sweeps``,
 or ``$REPRO_CACHE_DIR``).  A repeated invocation with a warm cache
 simulates nothing and reproduces identical output.
+
+Sweeps are fault-tolerant (docs/SWEEPS.md): a failing simulation is
+retried (``--max-retries``, capped exponential backoff), a hung worker is
+killed after ``--task-timeout`` seconds, and a crashed process pool is
+rebuilt.  Tasks that still fail never abort the sweep — every completed
+result is printed and cached, the failures are reported to stderr, and the
+command exits with status 3 (partial) instead of 0 (clean).
+``--fail-fast`` stops dispatching new work after the first exhausted task.
 """
 
 from __future__ import annotations
@@ -54,12 +62,29 @@ from repro.experiments import (
     validation,
 )
 from repro.experiments.report import format_mapping, format_table
-from repro.experiments.runner import DEFAULT_BENCH_SCALE, SweepRunner
+from repro.experiments.runner import (
+    COPY,
+    DEFAULT_BENCH_SCALE,
+    LIMITED,
+    FaultPolicy,
+    SweepError,
+    SweepRunner,
+)
 from repro.sim.engine import SimOptions
 from repro.sim.hierarchy import Component
 from repro.sim.resultcache import ResultCache, default_cache_dir
 from repro.config.system import discrete_gpu_system
-from repro.workloads.registry import SUITES, all_specs, get, suite_specs
+from repro.workloads.registry import (
+    SUITES,
+    all_specs,
+    get,
+    simulatable_specs,
+    suite_specs,
+)
+
+#: Exit status of a sweep that completed with task failures: the results
+#: that did finish were printed/cached, but the run is not clean.
+EXIT_PARTIAL = 3
 
 FIGURES = {
     "fig4": fig4,
@@ -81,6 +106,14 @@ def _cache_dir(args: argparse.Namespace):
     return getattr(args, "cache_dir", None) or default_cache_dir()
 
 
+def _fault_policy(args: argparse.Namespace) -> FaultPolicy:
+    return FaultPolicy(
+        max_retries=getattr(args, "max_retries", 2),
+        task_timeout_s=getattr(args, "task_timeout", None),
+        fail_fast=getattr(args, "fail_fast", False),
+    )
+
+
 def _runner(args: argparse.Namespace) -> SweepRunner:
     return SweepRunner(
         options=_options(args),
@@ -88,7 +121,30 @@ def _runner(args: argparse.Namespace) -> SweepRunner:
         cache_dir=_cache_dir(args),
         verbose=True,
         preflight=getattr(args, "preflight", False),
+        fault_policy=_fault_policy(args),
     )
+
+
+def _report_failures(runner: SweepRunner) -> int:
+    """Print outstanding task failures; exit status for the command."""
+    failures = runner.metrics_registry.failures
+    if not failures:
+        return 0
+    print(f"sweep: {len(failures)} task(s) failed:", file=sys.stderr)
+    for failure in failures:
+        print(f"  {failure.describe()}", file=sys.stderr)
+    return EXIT_PARTIAL
+
+
+def _render_with_failures(runner: SweepRunner, render) -> int:
+    """Run a figure/validation renderer against a fault-tolerant runner."""
+    try:
+        print(render())
+    except SweepError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        _report_failures(runner)
+        return EXIT_PARTIAL
+    return _report_failures(runner)
 
 
 def cmd_show_config(args: argparse.Namespace) -> int:
@@ -135,19 +191,26 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.benchmark is None:
         # Full 46x2 sweep: the workload every figure shares.  With --jobs
         # this is the headline parallel path; a warm cache replays it
-        # without simulating anything.
-        runs = runner.sweep()
-        rows = [
-            (
-                name,
-                f"{pair.copy.roi_s:.6g}",
-                f"{pair.limited.roi_s:.6g}",
-                f"{pair.limited.roi_s / pair.copy.roi_s:.3f}"
-                if pair.copy.roi_s
-                else "-",
+        # without simulating anything.  Failed tasks don't abort the
+        # sweep: completed results are printed, failures are reported to
+        # stderr, and the exit status distinguishes partial from clean.
+        specs = sorted(simulatable_specs(), key=lambda s: s.full_name)
+        runner.sweep(specs)
+        rows = []
+        for spec in specs:
+            copy_result = runner.try_result(spec, COPY)
+            limited_result = runner.try_result(spec, LIMITED)
+            ratio = "-"
+            if copy_result and limited_result and copy_result.roi_s:
+                ratio = f"{limited_result.roi_s / copy_result.roi_s:.3f}"
+            rows.append(
+                (
+                    spec.full_name,
+                    f"{copy_result.roi_s:.6g}" if copy_result else "FAILED",
+                    f"{limited_result.roi_s:.6g}" if limited_result else "FAILED",
+                    ratio,
+                )
             )
-            for name, pair in sorted(runs.items())
-        ]
         print(
             format_table(
                 ("Benchmark", "copy roi_s", "limited roi_s", "lc/copy"),
@@ -157,17 +220,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         # The sweep metrics line goes to stderr (verbose runner) so stdout
         # stays byte-identical between cold and warm-cache invocations.
-        return 0
+        return _report_failures(runner)
     spec = get(args.benchmark)
-    pair = runner.pair(spec)
-    for label, result in (("copy", pair.copy), ("limited-copy", pair.limited)):
+    try:
+        runner.pair(spec)
+    except SweepError:
+        pass  # failures reported below; print whichever version completed
+    for label, version in (("copy", COPY), ("limited-copy", LIMITED)):
+        result = runner.try_result(spec, version)
+        if result is None:
+            continue
         print(f"\n{spec.full_name} [{label}] on {result.system_kind}")
         summary = result.summary()
         summary["copy_exclusive_share"] = (
             result.exclusive_time(Component.COPY) / result.roi_s if result.roi_s else 0
         )
         print(format_mapping("summary", {k: f"{v:.6g}" for k, v in summary.items()}))
-    return 0
+    return _report_failures(runner)
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -339,9 +408,11 @@ def cmd_table2(args: argparse.Namespace) -> int:
 
 
 def cmd_advise(args: argparse.Namespace) -> int:
-    report = advisor.advise_benchmark(args.benchmark, _runner(args))
-    print(report.render())
-    return 0
+    runner = _runner(args)
+    return _render_with_failures(
+        runner,
+        lambda: advisor.advise_benchmark(args.benchmark, runner).render(),
+    )
 
 
 def cmd_timeline(args: argparse.Namespace) -> int:
@@ -350,7 +421,12 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     spec = get(args.benchmark)
     runner = _runner(args)
     version = "limited-copy" if args.limited else "copy"
-    result = runner.run(spec, version)
+    try:
+        result = runner.run(spec, version)
+    except SweepError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        _report_failures(runner)
+        return EXIT_PARTIAL
     print(render_timeline(result))
     print()
     print(render_stage_table(result))
@@ -386,7 +462,12 @@ def cmd_export(args: argparse.Namespace) -> int:
     spec = get(args.benchmark)
     runner = _runner(args)
     version = "limited-copy" if args.limited else "copy"
-    result = runner.run(spec, version)
+    try:
+        result = runner.run(spec, version)
+    except SweepError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        _report_failures(runner)
+        return EXIT_PARTIAL
     text = result_to_json(result, include_log=args.include_log)
     if args.output:
         with open(args.output, "w") as handle:
@@ -404,15 +485,15 @@ def cmd_fig3(args: argparse.Namespace) -> int:
 
 def cmd_figure(module):
     def handler(args: argparse.Namespace) -> int:
-        print(module.render(_runner(args)))
-        return 0
+        runner = _runner(args)
+        return _render_with_failures(runner, lambda: module.render(runner))
 
     return handler
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    print(validation.render(_runner(args)))
-    return 0
+    runner = _runner(args)
+    return _render_with_failures(runner, lambda: validation.render(runner))
 
 
 def cmd_ablations(args: argparse.Namespace) -> int:
@@ -422,19 +503,24 @@ def cmd_ablations(args: argparse.Namespace) -> int:
 
 def cmd_all(args: argparse.Namespace) -> int:
     runner = _runner(args)
-    print(format_mapping("Table I", TABLE_I))
-    print()
-    print(table2.render())
-    print()
-    print(fig3.render(_options(args)))
-    for name, module in FIGURES.items():
+    try:
+        print(format_mapping("Table I", TABLE_I))
         print()
-        print(module.render(runner))
-    print()
-    print(validation.render(runner))
-    print()
-    print(ablations.render(_options(args)))
-    return 0
+        print(table2.render())
+        print()
+        print(fig3.render(_options(args)))
+        for name, module in FIGURES.items():
+            print()
+            print(module.render(runner))
+        print()
+        print(validation.render(runner))
+        print()
+        print(ablations.render(_options(args)))
+    except SweepError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        _report_failures(runner)
+        return EXIT_PARTIAL
+    return _report_failures(runner)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -477,6 +563,28 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="statically lint every pipeline before simulating and "
             "refuse to run on error-level findings",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="retry each failing simulation up to N times with capped "
+            "exponential backoff (default: 2; 0 disables retries)",
+        )
+        p.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="kill and retry any single simulation exceeding this "
+            "wall-clock budget (parallel workers only; default: none)",
+        )
+        p.add_argument(
+            "--fail-fast",
+            action="store_true",
+            help="stop dispatching new work once a task exhausts its "
+            "retries; results finished before the failure are kept",
         )
         p.set_defaults(handler=handler)
         return p

@@ -1,4 +1,4 @@
-"""Parallel, cache-backed execution of the 46x2 benchmark sweep.
+"""Parallel, cache-backed, fault-tolerant execution of the 46x2 sweep.
 
 The sweep is embarrassingly parallel: each (benchmark, version) simulation
 is independent, so this module fans tasks out over a
@@ -12,6 +12,18 @@ pickled, so tasks cross the process boundary as ``suite/name`` strings and
 are re-resolved from the registry inside the worker.  Unregistered specs
 (e.g. user-defined benchmarks) are pickled directly when possible and fall
 back to in-parent serial execution otherwise — the sweep always completes.
+
+Tasks also *fail* independently.  A supervisor (see :func:`run_tasks`)
+catches per-future exceptions instead of letting one bad task abort the
+fleet, retries failures with capped exponential backoff, enforces an
+optional per-task wall-clock timeout (hung workers are killed and the pool
+recycled), and recovers from ``BrokenProcessPool`` by rebuilding the pool —
+degrading to in-parent serial execution after repeated breaks.  Whatever
+cannot be completed is reported as a structured :class:`TaskFailure` on the
+returned :class:`SweepMetrics`; everything that did finish is returned and
+cached.  The policy knobs live on :class:`FaultPolicy` and surface on every
+CLI sweep command as ``--max-retries`` / ``--task-timeout`` /
+``--fail-fast`` (see docs/SWEEPS.md).
 """
 
 from __future__ import annotations
@@ -19,8 +31,15 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config.system import SystemConfig
@@ -29,12 +48,21 @@ from repro.sim.engine import SimOptions, simulate
 from repro.sim.observe.metrics import MetricsRegistry
 from repro.sim.resultcache import ResultCache, cache_key
 from repro.sim.results import SimResult
+from repro.testing.faults import maybe_inject
 from repro.workloads import registry
 from repro.workloads.spec import BenchmarkSpec
 
 COPY = "copy"
 LIMITED = "limited-copy"
 VERSIONS = (COPY, LIMITED)
+
+#: ``TaskFailure.worker_fate`` values — what happened to the process that
+#: was running the task when it finally failed.
+FATE_ALIVE = "alive"  # worker survived and returned the exception
+FATE_CRASHED = "crashed"  # worker process died (pool broken)
+FATE_TIMED_OUT = "timed-out"  # killed by the supervisor's task timeout
+FATE_IN_PARENT = "in-parent"  # ran serially in the parent process
+FATE_CANCELLED = "cancelled"  # never ran: abandoned by --fail-fast
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -44,6 +72,76 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How a sweep reacts to failing, hanging, or crashing tasks.
+
+    Args:
+        max_retries: additional attempts a failing task gets before it is
+            reported as a :class:`TaskFailure` (0 = one attempt, no retry).
+        task_timeout_s: wall-clock budget for a single pooled simulation;
+            a task exceeding it has its worker killed, the pool recycled,
+            and the task retried (``None`` disables the timeout; in-parent
+            serial execution cannot be interrupted, so the timeout only
+            applies to pool workers).
+        fail_fast: stop dispatching new work as soon as any task exhausts
+            its retries.  Results already finished (and those of tasks
+            still in flight) are kept; undispatched tasks are reported as
+            ``cancelled`` failures.
+        backoff_base_s: first retry delay; doubles per failed attempt.
+        backoff_cap_s: ceiling on the exponential backoff delay.
+        max_pool_rebuilds: ``BrokenProcessPool`` recoveries tolerated
+            before the sweep degrades to in-parent serial execution.
+    """
+
+    max_retries: int = 2
+    task_timeout_s: Optional[float] = None
+    fail_fast: bool = False
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 8.0
+    max_pool_rebuilds: int = 2
+
+    def backoff_s(self, failed_attempts: int) -> float:
+        """Capped exponential delay before retry number ``failed_attempts``."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        return min(
+            self.backoff_base_s * (2 ** max(0, failed_attempts - 1)),
+            self.backoff_cap_s,
+        )
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that could not be completed, with its post-mortem."""
+
+    benchmark: str
+    version: str
+    error_type: str
+    message: str
+    attempts: int
+    worker_fate: str  # one of the FATE_* constants above
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark}:{self.version} failed after "
+            f"{self.attempts} attempt(s) [{self.worker_fate}] "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+class SweepError(RuntimeError):
+    """A requested simulation failed after exhausting its retries.
+
+    Raised by :class:`~repro.experiments.runner.SweepRunner` accessors that
+    must return a result; carries the structured failures behind it.
+    """
+
+    def __init__(self, message: str, failures: Sequence[TaskFailure] = ()):
+        super().__init__(message)
+        self.failures = list(failures)
 
 
 @dataclass(frozen=True)
@@ -72,6 +170,23 @@ class SweepMetrics:
     #: restored from their stored time) — what a serial, uncached sweep of
     #: the same tasks would have cost.
     serial_estimate_s: float = 0.0
+    #: Attempts beyond the first that the fault supervisor scheduled.
+    retries: int = 0
+    #: Times the process pool was torn down and rebuilt (worker crash or
+    #: task timeout).
+    pool_rebuilds: int = 0
+    #: How many sweep invocations this object aggregates (grows via
+    #: :meth:`merge`).
+    sweeps: int = 1
+    failures: List[TaskFailure] = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def cancelled(self) -> int:
+        return sum(1 for f in self.failures if f.worker_fate == FATE_CANCELLED)
 
     @property
     def speedup_estimate(self) -> float:
@@ -82,8 +197,15 @@ class SweepMetrics:
         self.launched += other.launched
         self.cache_hits += other.cache_hits
         self.memo_hits += other.memo_hits
+        # jobs is a configuration, not a counter: a merged line reports the
+        # widest pool any constituent sweep used.
+        self.jobs = max(self.jobs, other.jobs)
         self.wall_s += other.wall_s
         self.serial_estimate_s += other.serial_estimate_s
+        self.retries += other.retries
+        self.pool_rebuilds += other.pool_rebuilds
+        self.sweeps += other.sweeps
+        self.failures.extend(other.failures)
 
     def format_line(self) -> str:
         parts = [
@@ -93,15 +215,21 @@ class SweepMetrics:
         ]
         if self.memo_hits:
             parts.append(f"{self.memo_hits} memo hits")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.failures:
+            parts.append(f"{self.failed} failed")
         line = (
             f"sweep: {', '.join(parts)} in {self.wall_s:.1f}s "
             f"[jobs={self.jobs}]"
         )
         if self.serial_estimate_s > 0:
-            line += (
-                f"; serial estimate {self.serial_estimate_s:.1f}s"
-                f" ({self.speedup_estimate:.1f}x)"
-            )
+            line += f"; serial estimate {self.serial_estimate_s:.1f}s"
+            # Merged metrics sum wall times of sweeps that may have run
+            # back-to-back against a warm memo, so a speedup ratio over the
+            # sum would be meaningless; only a single sweep claims one.
+            if self.sweeps == 1 and self.wall_s > 0:
+                line += f" ({self.speedup_estimate:.1f}x)"
         return line
 
 
@@ -120,6 +248,10 @@ def _simulate_version(
     options: SimOptions,
 ) -> Tuple[SimResult, float]:
     start = time.perf_counter()
+    # Deterministic fault-injection hook (no-op unless $REPRO_FAULTS is
+    # set): the only seam the robustness tests need, in both the pooled
+    # worker and the in-parent serial path.
+    maybe_inject(spec.full_name, version)
     pipeline = spec.pipeline()
     if version == LIMITED:
         pipeline = remove_copies(pipeline)
@@ -153,6 +285,18 @@ def _dispatchable(task: SweepTask) -> Optional[bytes]:
     return pickle.dumps(task.spec)
 
 
+@dataclass
+class _TaskState:
+    """Supervisor bookkeeping for one dispatched task."""
+
+    task: SweepTask
+    key: str
+    spec_blob: Optional[bytes] = None
+    attempts: int = 0
+    ready_at: float = 0.0  # monotonic time when eligible to (re)submit
+    started_at: float = 0.0  # monotonic submit time of the current attempt
+
+
 def run_tasks(
     tasks: Sequence[SweepTask],
     *,
@@ -162,8 +306,9 @@ def run_tasks(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     metrics_registry: Optional[MetricsRegistry] = None,
+    policy: Optional[FaultPolicy] = None,
 ) -> Tuple[Dict[Tuple[str, str], SimResult], SweepMetrics]:
-    """Execute a batch of sweep tasks, parallel and cache-aware.
+    """Execute a batch of sweep tasks, parallel, cache-aware, fault-tolerant.
 
     Returns results keyed by ``(full_name, version)`` plus the metrics of
     this invocation.  With ``jobs`` resolving to 1 the whole batch runs
@@ -172,11 +317,19 @@ def run_tasks(
     ``metrics_registry`` every result of the batch — fresh simulation and
     persistent-cache hit alike — is summarized into it, so sweeps can
     surface per-benchmark trace summaries without re-running anything.
+
+    A failing task never aborts the batch: it is retried per ``policy``
+    (default :class:`FaultPolicy`) and, once its retries are exhausted,
+    reported as a :class:`TaskFailure` on ``metrics.failures`` while the
+    rest of the sweep completes.  The returned dict then holds exactly the
+    successful subset, every fresh success already persisted to ``cache``.
     """
     jobs = resolve_jobs(jobs)
+    policy = policy if policy is not None else FaultPolicy()
     metrics = SweepMetrics(total=len(tasks), jobs=jobs)
     results: Dict[Tuple[str, str], SimResult] = {}
     start = time.perf_counter()
+    stop = False  # set once fail-fast trips; no further dispatch
 
     def record(task: SweepTask, result: SimResult) -> None:
         if metrics_registry is not None:
@@ -203,39 +356,298 @@ def run_tasks(
         if cache is not None:
             cache.store(key, result, sim_wall_s=wall_s)
 
+    def final_failure(
+        state: _TaskState, error_type: str, message: str, fate: str
+    ) -> None:
+        nonlocal stop
+        failure = TaskFailure(
+            benchmark=state.task.full_name,
+            version=state.task.version,
+            error_type=error_type,
+            message=message,
+            attempts=state.attempts,
+            worker_fate=fate,
+        )
+        metrics.failures.append(failure)
+        if metrics_registry is not None:
+            metrics_registry.record_failure(failure)
+        if policy.fail_fast and fate != FATE_CANCELLED:
+            stop = True
+
     local: List[Tuple[SweepTask, str]] = []
     remote: List[Tuple[SweepTask, str, Optional[bytes]]] = []
     if jobs > 1 and len(pending) > 1:
         for task, key in pending:
             try:
                 remote.append((task, key, _dispatchable(task)))
-            except Exception:
+            except (pickle.PicklingError, AttributeError, TypeError):
+                # Only genuine can't-pickle errors force in-parent serial
+                # execution; anything else (a registry bug, a broken
+                # __reduce__) must surface instead of silently degrading.
                 local.append((task, key))
     else:
         local = pending
 
-    if remote:
-        workers = min(jobs, len(remote))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
-            for task, key, spec_blob in remote:
-                system = _system_for(task.version, discrete, heterogeneous)
-                future = pool.submit(
-                    _worker, (task.full_name, spec_blob, task.version, system, options)
-                )
-                futures[future] = (task, key)
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task, key = futures[future]
-                    _, _, result, wall_s = future.result()
-                    finish(task, key, result, wall_s)
+    def run_pooled(states: List[_TaskState]) -> List[_TaskState]:
+        """Supervise pooled execution; returns the tasks still unfinished
+        when the pool had to be abandoned (degrade-to-serial)."""
+        nonlocal stop
+        workers = min(jobs, len(states))
+        ready: List[_TaskState] = list(states)
+        waiting: List[_TaskState] = []
+        inflight: Dict[Future, _TaskState] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        pool_breaks = 0
 
-    for task, key in local:
-        system = _system_for(task.version, discrete, heterogeneous)
-        result, wall_s = _simulate_version(task.spec, task.version, system, options)
-        finish(task, key, result, wall_s)
+        def terminate_pool() -> None:
+            # Hung or crashed workers cannot be joined; kill what's left.
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                if process.is_alive():
+                    process.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        def requeue(
+            state: _TaskState, error_type: str, message: str, fate: str
+        ) -> None:
+            if state.attempts > policy.max_retries:
+                final_failure(state, error_type, message, fate)
+                return
+            metrics.retries += 1
+            state.ready_at = time.monotonic() + policy.backoff_s(state.attempts)
+            waiting.append(state)
+
+        def requeue_free(state: _TaskState) -> None:
+            """Requeue an innocent victim of a pool recycle, uncharged."""
+            state.attempts -= 1
+            state.ready_at = 0.0
+            waiting.append(state)
+
+        try:
+            while ready or waiting or inflight:
+                now = time.monotonic()
+                if stop:
+                    for state in ready + waiting:
+                        final_failure(
+                            state,
+                            "Cancelled",
+                            "sweep stopped early (fail-fast)",
+                            FATE_CANCELLED,
+                        )
+                    ready, waiting = [], []
+                    if not inflight:
+                        break
+                else:
+                    still_waiting: List[_TaskState] = []
+                    for state in waiting:
+                        if state.ready_at <= now:
+                            ready.append(state)
+                        else:
+                            still_waiting.append(state)
+                    waiting = still_waiting
+
+                # Keep in-flight == running: submitting at most ``workers``
+                # tasks makes started_at the true start time (exact timeout
+                # accounting) and leaves queued work supervisor-side where
+                # fail-fast can actually cancel it.
+                broken = False
+                while ready and len(inflight) < workers and not stop:
+                    state = ready.pop(0)
+                    system = _system_for(
+                        state.task.version, discrete, heterogeneous
+                    )
+                    state.attempts += 1
+                    state.started_at = time.monotonic()
+                    try:
+                        future = pool.submit(
+                            _worker,
+                            (
+                                state.task.full_name,
+                                state.spec_blob,
+                                state.task.version,
+                                system,
+                                options,
+                            ),
+                        )
+                    except (BrokenExecutor, RuntimeError):
+                        state.attempts -= 1  # this attempt never ran
+                        ready.insert(0, state)
+                        broken = True
+                        break
+                    inflight[future] = state
+
+                if inflight and not broken:
+                    now = time.monotonic()
+                    timeout: Optional[float] = None
+                    if policy.task_timeout_s is not None:
+                        earliest = min(s.started_at for s in inflight.values())
+                        timeout = (
+                            max(0.0, earliest + policy.task_timeout_s - now)
+                            + 0.05
+                        )
+                    if waiting:
+                        wake = max(
+                            0.0, min(s.ready_at for s in waiting) - now
+                        ) + 0.01
+                        timeout = wake if timeout is None else min(timeout, wake)
+                    done, _ = wait(
+                        set(inflight),
+                        timeout=timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    # Drain every finished future before reacting to any
+                    # failure: results that are already computed must be
+                    # recorded and cached no matter what their batch-mates
+                    # did (the pre-supervisor code lost them).
+                    for future in done:
+                        state = inflight.pop(future)
+                        try:
+                            _, _, result, wall_s = future.result()
+                        except BrokenExecutor as exc:
+                            broken = True
+                            requeue(
+                                state,
+                                "WorkerCrash",
+                                str(exc) or "worker process died",
+                                FATE_CRASHED,
+                            )
+                        except CancelledError:
+                            requeue_free(state)
+                        except Exception as exc:
+                            requeue(
+                                state,
+                                type(exc).__name__,
+                                str(exc) or repr(exc),
+                                FATE_ALIVE,
+                            )
+                        else:
+                            finish(state.task, state.key, result, wall_s)
+                elif not inflight and waiting and not stop and not broken:
+                    delay = max(
+                        0.0, min(s.ready_at for s in waiting) - time.monotonic()
+                    )
+                    if delay:
+                        time.sleep(delay)
+                    continue
+
+                if broken:
+                    # The pool is gone: salvage any future that completed
+                    # with a real result, charge the rest one attempt each
+                    # (the crashing task cannot be identified, and charging
+                    # everyone bounds a repeat-killer), then rebuild — or
+                    # degrade to in-parent serial after repeated breaks.
+                    pool_breaks += 1
+                    for future, state in list(inflight.items()):
+                        salvaged = False
+                        if future.done():
+                            try:
+                                _, _, result, wall_s = future.result()
+                            except BaseException:
+                                pass
+                            else:
+                                finish(state.task, state.key, result, wall_s)
+                                salvaged = True
+                        if not salvaged:
+                            requeue(
+                                state,
+                                "WorkerCrash",
+                                "worker process died (pool broken)",
+                                FATE_CRASHED,
+                            )
+                    inflight.clear()
+                    terminate_pool()
+                    if pool_breaks > policy.max_pool_rebuilds:
+                        return ready + waiting
+                    metrics.pool_rebuilds += 1
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    continue
+
+                if policy.task_timeout_s is not None and inflight:
+                    now = time.monotonic()
+                    expired = [
+                        (future, state)
+                        for future, state in inflight.items()
+                        if now - state.started_at >= policy.task_timeout_s
+                    ]
+                    if expired:
+                        for future, state in expired:
+                            del inflight[future]
+                            requeue(
+                                state,
+                                "TaskTimeout",
+                                f"exceeded task timeout "
+                                f"({policy.task_timeout_s:g}s)",
+                                FATE_TIMED_OUT,
+                            )
+                        # Killing the hung worker tears down the whole
+                        # pool; in-flight tasks that had not expired are
+                        # innocent and requeue uncharged.
+                        for future, state in list(inflight.items()):
+                            if future.done():
+                                try:
+                                    _, _, result, wall_s = future.result()
+                                except BaseException:
+                                    requeue(
+                                        state,
+                                        "WorkerCrash",
+                                        "worker died in pool recycle",
+                                        FATE_CRASHED,
+                                    )
+                                else:
+                                    finish(
+                                        state.task, state.key, result, wall_s
+                                    )
+                            else:
+                                requeue_free(state)
+                        inflight.clear()
+                        terminate_pool()
+                        metrics.pool_rebuilds += 1
+                        pool = ProcessPoolExecutor(max_workers=workers)
+            return []
+        finally:
+            terminate_pool()
+
+    def run_serial(states: List[_TaskState]) -> None:
+        for state in states:
+            if stop:
+                final_failure(
+                    state,
+                    "Cancelled",
+                    "sweep stopped early (fail-fast)",
+                    FATE_CANCELLED,
+                )
+                continue
+            system = _system_for(state.task.version, discrete, heterogeneous)
+            while True:
+                state.attempts += 1
+                try:
+                    result, wall_s = _simulate_version(
+                        state.task.spec, state.task.version, system, options
+                    )
+                except Exception as exc:
+                    if state.attempts > policy.max_retries:
+                        final_failure(
+                            state,
+                            type(exc).__name__,
+                            str(exc) or repr(exc),
+                            FATE_IN_PARENT,
+                        )
+                        break
+                    metrics.retries += 1
+                    delay = policy.backoff_s(state.attempts)
+                    if delay:
+                        time.sleep(delay)
+                else:
+                    finish(state.task, state.key, result, wall_s)
+                    break
+
+    serial_states = [_TaskState(task, key) for task, key in local]
+    if remote:
+        remote_states = [
+            _TaskState(task, key, blob) for task, key, blob in remote
+        ]
+        serial_states = run_pooled(remote_states) + serial_states
+    run_serial(serial_states)
 
     metrics.wall_s = time.perf_counter() - start
     return results, metrics

@@ -31,8 +31,11 @@ from repro.experiments.parallel import (
     COPY,
     LIMITED,
     VERSIONS,
+    FaultPolicy,
+    SweepError,
     SweepMetrics,
     SweepTask,
+    TaskFailure,
     resolve_jobs,
     run_tasks,
 )
@@ -47,8 +50,11 @@ __all__ = [
     "BenchmarkRun",
     "COPY",
     "DEFAULT_BENCH_SCALE",
+    "FaultPolicy",
     "LIMITED",
+    "SweepError",
     "SweepRunner",
+    "TaskFailure",
     "VERSIONS",
     "default_runner",
 ]
@@ -89,6 +95,12 @@ class SweepRunner:
             error-level findings by raising
             :class:`repro.analysis.LintError`.  In-memory memo hits skip
             the check — they were vetted when first produced.
+        fault_policy: retry/timeout/fail-fast behaviour for failing tasks
+            (:class:`~repro.experiments.parallel.FaultPolicy`; default
+            policy when ``None``).  Failed tasks never abort a sweep: they
+            surface as :class:`TaskFailure` entries on ``last_metrics`` and
+            in the ``metrics_registry``, while every completed result is
+            kept, cached, and memoized.
     """
 
     def __init__(
@@ -100,6 +112,7 @@ class SweepRunner:
         cache_dir: Union[None, str, Path] = None,
         verbose: bool = False,
         preflight: bool = False,
+        fault_policy: Optional[FaultPolicy] = None,
     ):
         self.options = options or SimOptions(scale=DEFAULT_BENCH_SCALE)
         self.discrete = discrete or discrete_gpu_system()
@@ -108,6 +121,7 @@ class SweepRunner:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.verbose = verbose
         self.preflight = preflight
+        self.fault_policy = fault_policy
         #: Memo keyed by the *content hash* of each run — includes every
         #: SimOptions field (scale, seed, ...), the system, and the engine
         #: tag, so changing ``self.options`` can never serve stale results.
@@ -157,14 +171,22 @@ class SweepRunner:
             jobs=self.jobs,
             cache=self.cache,
             metrics_registry=self.metrics_registry,
+            policy=self.fault_policy,
         )
+        # Failed tasks produce no result; memoize exactly the successes so
+        # a later request re-attempts the failures instead of KeyError-ing.
         for task, key in tasks:
-            self._memo[key] = results[(task.full_name, task.version)]
+            produced = results.get((task.full_name, task.version))
+            if produced is not None:
+                self._memo[key] = produced
         metrics.total += memo_hits
         metrics.memo_hits = memo_hits
         self.last_metrics = metrics
-        if self.verbose and metrics.total > 2:
-            print(metrics.format_line(), file=sys.stderr)
+        if self.verbose:
+            if metrics.total > 2:
+                print(metrics.format_line(), file=sys.stderr)
+            for failure in metrics.failures:
+                print(f"sweep: FAILED {failure.describe()}", file=sys.stderr)
         return keys
 
     def _preflight(self, tasks: List[SweepTask]) -> None:
@@ -178,17 +200,49 @@ class SweepRunner:
                 pipeline = remove_copies(pipeline)
             assert_lint_clean(pipeline, task.spec)
 
+    def _failures_for(self, name: str, version: str) -> List[TaskFailure]:
+        metrics = self.last_metrics
+        failures = metrics.failures if metrics is not None else []
+        return [
+            f for f in failures if f.benchmark == name and f.version == version
+        ]
+
+    def _require(
+        self, name: str, version: str, keys: Dict[Tuple[str, str], str]
+    ) -> SimResult:
+        key = keys[(name, version)]
+        result = self._memo.get(key)
+        if result is not None:
+            return result
+        relevant = self._failures_for(name, version)
+        detail = "; ".join(f.describe() for f in relevant) or "no result produced"
+        raise SweepError(f"{name}:{version} did not complete: {detail}", relevant)
+
     def run(self, spec: BenchmarkSpec, version: str) -> SimResult:
-        """Simulate one benchmark version (memoized + persistently cached)."""
+        """Simulate one benchmark version (memoized + persistently cached).
+
+        Raises :class:`SweepError` (carrying the structured failures) when
+        the task exhausted its retries without producing a result.
+        """
         keys = self._ensure([(spec, version)])
-        return self._memo[keys[(spec.full_name, version)]]
+        return self._require(spec.full_name, version, keys)
+
+    def try_result(
+        self, spec: BenchmarkSpec, version: str
+    ) -> Optional[SimResult]:
+        """The memoized result of (spec, version), if this runner has one.
+
+        Never simulates: use it after a sweep to read out partial results
+        without re-attempting the failed tasks.
+        """
+        return self._memo.get(self._key(spec, version))
 
     def pair(self, spec: BenchmarkSpec) -> BenchmarkRun:
         keys = self._ensure([(spec, COPY), (spec, LIMITED)])
         return BenchmarkRun(
             spec=spec,
-            copy=self._memo[keys[(spec.full_name, COPY)]],
-            limited=self._memo[keys[(spec.full_name, LIMITED)]],
+            copy=self._require(spec.full_name, COPY, keys),
+            limited=self._require(spec.full_name, LIMITED, keys),
         )
 
     def sweep(
@@ -198,19 +252,26 @@ class SweepRunner:
 
         Misses fan out over the process pool when ``parallel`` allows; a
         repeat invocation against a warm persistent cache simulates nothing.
+
+        Failing tasks never abort the sweep: benchmarks whose pair could
+        not be completed are omitted from the returned dict, their
+        :class:`TaskFailure` reports land on ``last_metrics.failures`` (and
+        ``metrics_registry.failures``), and single-version successes remain
+        readable through :meth:`try_result`.
         """
         specs = list(specs) if specs is not None else list(simulatable_specs())
         keys = self._ensure(
             [(spec, version) for spec in specs for version in VERSIONS]
         )
-        return {
-            spec.full_name: BenchmarkRun(
-                spec=spec,
-                copy=self._memo[keys[(spec.full_name, COPY)]],
-                limited=self._memo[keys[(spec.full_name, LIMITED)]],
-            )
-            for spec in specs
-        }
+        runs: Dict[str, BenchmarkRun] = {}
+        for spec in specs:
+            copy = self._memo.get(keys[(spec.full_name, COPY)])
+            limited = self._memo.get(keys[(spec.full_name, LIMITED)])
+            if copy is not None and limited is not None:
+                runs[spec.full_name] = BenchmarkRun(
+                    spec=spec, copy=copy, limited=limited
+                )
+        return runs
 
     def trace_summary_table(self) -> str:
         """Per-benchmark trace summaries of every run this runner served."""

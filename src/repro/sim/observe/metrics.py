@@ -12,10 +12,14 @@ without re-running anything.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.sim.hierarchy import Component
 from repro.sim.results import SimResult
+
+if TYPE_CHECKING:  # typed loosely at runtime: the experiments layer sits
+    # above this observability layer and must not be imported from it
+    from repro.experiments.parallel import TaskFailure
 
 
 @dataclass(frozen=True)
@@ -63,11 +67,25 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._runs: Dict[Tuple[str, str], RunTraceSummary] = {}
+        self._failures: Dict[Tuple[str, str], "TaskFailure"] = {}
 
     def record(self, benchmark: str, version: str, result: SimResult) -> None:
         self._runs[(benchmark, version)] = RunTraceSummary.from_result(
             benchmark, version, result
         )
+        # A pair that eventually produced a result recovered: drop any
+        # failure recorded for it by an earlier sweep.
+        self._failures.pop((benchmark, version), None)
+
+    def record_failure(self, failure: "TaskFailure") -> None:
+        """Remember a task that exhausted its retries (keyed like runs, so
+        a later successful re-run clears it)."""
+        self._failures[(failure.benchmark, failure.version)] = failure
+
+    @property
+    def failures(self) -> List["TaskFailure"]:
+        """Outstanding failures, ordered by (benchmark, version)."""
+        return [self._failures[key] for key in sorted(self._failures)]
 
     def __len__(self) -> int:
         return len(self._runs)
@@ -89,6 +107,7 @@ class MetricsRegistry:
             "faults": 0.0,
             "stages": 0.0,
             "violations": 0.0,
+            "failed_runs": float(len(self._failures)),
         }
         for component in Component:
             totals[f"busy_{component.value}_s"] = 0.0
@@ -122,5 +141,10 @@ class MetricsRegistry:
                 f"{s.benchmark:<24s} {s.version:<12s} {s.roi_s * 1e3:>9.3f} "
                 f"{share('cpu'):>5s} {share('gpu'):>5s} {share('copy'):>5s} "
                 f"{s.offchip_accesses:>10d} {s.violations:>4d}"
+            )
+        for failure in self.failures:
+            lines.append(
+                f"{failure.benchmark:<24s} {failure.version:<12s} "
+                f"FAILED [{failure.worker_fate}] {failure.error_type}"
             )
         return "\n".join(lines)

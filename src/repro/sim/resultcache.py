@@ -39,6 +39,7 @@ import hashlib
 import json
 import os
 import tempfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
@@ -142,27 +143,48 @@ class ResultCache:
     def load(self, key: str) -> Optional[CacheEntry]:
         """Return the stored entry, or None on miss or unreadable file.
 
-        Corrupt or stale-schema files are treated as misses (and removed) so
-        a damaged cache degrades to re-simulation, never to an error.
+        Confirmed-corrupt files (bad gzip stream, truncated data, invalid
+        JSON, foreign schema) are treated as misses and removed, so a
+        damaged cache degrades to re-simulation, never to an error.
+        Transient I/O failures (``EACCES``, disk hiccups) are misses too,
+        but the entry is *kept* — deleting a healthy file because of a
+        momentary read error would throw away a finished simulation.
         """
         path = self.path_for(key)
         try:
             with gzip.open(path, "rt", encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (
+            gzip.BadGzipFile,
+            EOFError,
+            zlib.error,
+            UnicodeDecodeError,
+            ValueError,  # includes json.JSONDecodeError
+        ):
+            self._discard(path)
+            return None
+        except OSError:
+            return None
+        try:
             if payload.get("schema") != CACHE_SCHEMA or payload.get("key") != key:
                 raise ValueError("stale or foreign cache entry")
             return CacheEntry(
                 result=result_from_dict(payload["result"]),
                 sim_wall_s=float(payload.get("sim_wall_s", 0.0)),
             )
-        except FileNotFoundError:
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self._discard(path)
             return None
-        except (OSError, ValueError, KeyError, TypeError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        """Best-effort removal of a confirmed-corrupt entry."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def store(self, key: str, result: SimResult, sim_wall_s: float = 0.0) -> Path:
         """Atomically persist one result under ``key``; returns its path."""
@@ -196,15 +218,33 @@ class ResultCache:
     # -- maintenance ---------------------------------------------------------
 
     def entries(self) -> Iterator[Path]:
+        # A concurrent sweep (or ``clear``) may remove entries and fan-out
+        # directories while this iterator walks them; vanished paths are
+        # simply skipped rather than crashing the listing.
         if not self.root.is_dir():
-            return iter(())
-        return self.root.glob("*/*.json.gz")
+            return
+        try:
+            subdirs = sorted(p for p in self.root.iterdir() if p.is_dir())
+        except OSError:
+            return
+        for subdir in subdirs:
+            try:
+                names = sorted(subdir.glob("*.json.gz"))
+            except OSError:
+                continue
+            yield from names
 
     def __len__(self) -> int:
         return sum(1 for _ in self.entries())
 
     def size_bytes(self) -> int:
-        return sum(path.stat().st_size for path in self.entries())
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass  # unlinked between listing and stat
+        return total
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -1,0 +1,32 @@
+"""Test harnesses shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault injector behind the
+sweep-robustness suite and the CI fault-injection job: it makes chosen
+sweep tasks raise, hang, or kill their worker process, and plants damaged
+entries in the persistent result cache, so every degradation path of
+:mod:`repro.experiments.parallel` is exercised rather than trusted.
+"""
+
+from repro.testing.faults import (
+    FAULT_DIR_ENV,
+    FAULT_SPEC_ENV,
+    FaultInjected,
+    FaultRule,
+    injected_faults,
+    maybe_inject,
+    plant_corrupt_entry,
+    plant_foreign_schema_entry,
+    plant_truncated_entry,
+)
+
+__all__ = [
+    "FAULT_DIR_ENV",
+    "FAULT_SPEC_ENV",
+    "FaultInjected",
+    "FaultRule",
+    "injected_faults",
+    "maybe_inject",
+    "plant_corrupt_entry",
+    "plant_foreign_schema_entry",
+    "plant_truncated_entry",
+]

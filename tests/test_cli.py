@@ -30,6 +30,53 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestFaultToleranceFlags:
+    def test_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["run", "rodinia/kmeans"])
+        assert args.max_retries == 2
+        assert args.task_timeout is None
+        assert args.fail_fast is False
+
+    def test_flags_parse_explicit(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "rodinia/kmeans",
+                "--max-retries",
+                "0",
+                "--task-timeout",
+                "1.5",
+                "--fail-fast",
+            ]
+        )
+        assert args.max_retries == 0
+        assert args.task_timeout == 1.5
+        assert args.fail_fast is True
+
+    def test_partial_sweep_exits_3_and_reports_failure(self, capsys):
+        from repro.testing.faults import FaultRule, injected_faults
+
+        argv = [
+            "run",
+            "rodinia/kmeans",
+            "--scale",
+            TINY,
+            "--jobs",
+            "1",
+            "--no-cache",
+            "--max-retries",
+            "0",
+        ]
+        with injected_faults({"rodinia/kmeans:copy": FaultRule("raise")}):
+            assert main(argv) == 3
+        captured = capsys.readouterr()
+        assert "FaultInjected" in captured.err
+        assert "limited-copy" in captured.out  # surviving half still printed
+        # Fault gone: the same invocation is clean again.
+        assert main(argv) == 0
+        assert "FAILED" not in capsys.readouterr().out
+
+
 class TestCommands:
     def test_show_config(self, capsys):
         assert main(["show-config"]) == 0

@@ -1,0 +1,38 @@
+"""Performance benchmarking of the simulation engine itself.
+
+``repro bench`` measures the harness's own wall-clock performance —
+single-run engine throughput (reference vs. fast implementation), cold and
+warm registry-sweep times, and result-cache hit latency — and writes a
+schema-versioned report that later runs compare against for regressions
+(``repro bench --compare BENCH_engine.json``).  See docs/BENCHMARKING.md.
+"""
+
+from repro.bench.harness import (
+    BENCH_BENCHMARKS,
+    BenchConfig,
+    collect_report,
+    machine_fingerprint,
+    summarize,
+    write_report,
+)
+from repro.bench.schema import (
+    BENCH_SCHEMA,
+    Comparison,
+    MetricDelta,
+    compare_reports,
+    validate_report,
+)
+
+__all__ = [
+    "BENCH_BENCHMARKS",
+    "BENCH_SCHEMA",
+    "BenchConfig",
+    "Comparison",
+    "MetricDelta",
+    "collect_report",
+    "compare_reports",
+    "machine_fingerprint",
+    "summarize",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,292 @@
+"""Measurement harness behind ``repro bench`` (see docs/BENCHMARKING.md).
+
+Three metric families, all wall-clock seconds (lower is better):
+
+* **Single-run engine throughput** — run the fixed :data:`BENCH_BENCHMARKS`
+  set (both pipeline versions, both engine implementations) end to end
+  ``reps`` times; one sample is the wall time of the whole set.  The
+  reference/fast p50 ratio is the headline speedup of the vectorized
+  engine.
+* **Sweep wall time** — the registry sweep through
+  :class:`~repro.experiments.runner.SweepRunner` against a throwaway
+  result cache: a *cold* pass (every task simulated) then a *warm* pass
+  (every task served from the persistent cache), at ``--jobs 1`` and
+  ``--jobs 4``.  Quick mode measures a fixed 8-benchmark subset at
+  ``--jobs 1`` only (distinct metric keys, so full baselines remain
+  comparable).
+* **Cache hit-path latency** — p50/p95 of loading one stored sweep-cache
+  entry back from disk.
+
+Every timed quantity flows through :func:`measure`, which takes the clock
+as a parameter — the CLI tests inject a deterministic fake clock and get
+byte-identical reports without real timing.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.schema import BENCH_SCHEMA
+from repro.config.system import discrete_gpu_system, heterogeneous_processor
+from repro.experiments.parallel import COPY, LIMITED, _simulate_version, _system_for
+from repro.experiments.runner import DEFAULT_BENCH_SCALE, SweepRunner
+from repro.sim.engine import SimOptions
+from repro.sim.resultcache import ResultCache, cache_key
+from repro.workloads import registry
+
+#: The fixed benchmark set of the single-run throughput metric: the
+#: paper's kmeans case study plus one representative each of the graph
+#: (bfs), stencil (srad), and histogram (histo) classes.
+BENCH_BENCHMARKS: Tuple[str, ...] = (
+    "rodinia/kmeans",
+    "lonestar/bfs",
+    "rodinia/srad",
+    "parboil/histo",
+)
+
+#: Deterministic sweep subset measured in ``--quick`` mode (and alongside
+#: the full sweep in full mode, so quick runs can compare against a full
+#: baseline).
+QUICK_SWEEP_BENCHMARKS: Tuple[str, ...] = (
+    "lonestar/bfs",
+    "lonestar/mst",
+    "pannotia/bc",
+    "pannotia/pr",
+    "parboil/histo",
+    "parboil/spmv",
+    "rodinia/kmeans",
+    "rodinia/srad",
+)
+
+#: Engine implementations the single-run metric times.
+ENGINE_IMPLS: Tuple[str, ...] = ("reference", "fast")
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """What one ``repro bench`` invocation measures."""
+
+    scale: float = DEFAULT_BENCH_SCALE
+    seed: int = 0
+    reps: int = 5
+    quick: bool = False
+    #: Benchmarks of the single-run throughput metric.
+    benchmarks: Tuple[str, ...] = BENCH_BENCHMARKS
+    #: Benchmarks of the quick-subset sweep metric.
+    quick_sweep: Tuple[str, ...] = QUICK_SWEEP_BENCHMARKS
+    #: Jobs levels of the full sweep metric.
+    jobs: Tuple[int, ...] = (1, 4)
+    #: Loads of the cache hit-path metric.
+    hit_reps: int = 100
+
+    def effective_reps(self) -> int:
+        return max(1, min(self.reps, 2) if self.quick else self.reps)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "reps": self.effective_reps(),
+            "quick": self.quick,
+            "benchmarks": list(self.benchmarks),
+            "quick_sweep": list(self.quick_sweep),
+            "jobs": list(self.jobs),
+            "hit_reps": self.hit_reps,
+        }
+
+
+def measure(fn: Callable[[], Any], reps: int, clock: Clock) -> Dict[str, Any]:
+    """Time ``fn`` ``reps`` times; return a schema metric record."""
+    samples: List[float] = []
+    for _ in range(reps):
+        start = clock()
+        fn()
+        samples.append(clock() - start)
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "unit": "s",
+        "reps": reps,
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "min": float(arr.min()),
+        "mean": float(arr.mean()),
+        "samples": [float(s) for s in samples],
+    }
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def git_sha(repo_dir: Optional[Path] = None) -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir or Path(__file__).resolve().parents[3],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _options(config: BenchConfig, impl: str) -> SimOptions:
+    return SimOptions(scale=config.scale, seed=config.seed, engine_impl=impl)
+
+
+def _run_set(config: BenchConfig, impl: str) -> None:
+    """Simulate the fixed benchmark set once (both versions)."""
+    discrete = discrete_gpu_system()
+    heterogeneous = heterogeneous_processor()
+    options = _options(config, impl)
+    for name in config.benchmarks:
+        spec = registry.get(name)
+        for version in (COPY, LIMITED):
+            system = _system_for(version, discrete, heterogeneous)
+            _simulate_version(spec, version, system, options)
+
+
+def single_run_metrics(config: BenchConfig, clock: Clock) -> Dict[str, Any]:
+    metrics: Dict[str, Any] = {}
+    reps = config.effective_reps()
+    for impl in ENGINE_IMPLS:
+        _run_set(config, impl)  # warm numpy/module state out of the timing
+        metrics[f"single_run.{impl}.wall_s"] = measure(
+            lambda impl=impl: _run_set(config, impl), reps, clock
+        )
+    return metrics
+
+
+def _sweep_once(
+    config: BenchConfig,
+    names: Optional[Sequence[str]],
+    jobs: int,
+    cache_dir: Path,
+) -> None:
+    runner = SweepRunner(
+        options=_options(config, "fast"),
+        parallel=jobs,
+        cache_dir=cache_dir,
+    )
+    specs = [registry.get(name) for name in names] if names is not None else None
+    runner.sweep(specs)
+
+
+def sweep_metrics(config: BenchConfig, clock: Clock) -> Dict[str, Any]:
+    """Cold+warm sweep wall times against a throwaway persistent cache."""
+    metrics: Dict[str, Any] = {}
+    plans: List[Tuple[str, Optional[Tuple[str, ...]], int]] = [
+        ("sweep_quick", config.quick_sweep, 1)
+    ]
+    if not config.quick:
+        plans.extend(("sweep", None, jobs) for jobs in config.jobs)
+    for prefix, names, jobs in plans:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            cache_dir = Path(tmp)
+            for phase in ("cold", "warm"):
+                metrics[f"{prefix}.{phase}.jobs{jobs}.wall_s"] = measure(
+                    lambda: _sweep_once(config, names, jobs, cache_dir),
+                    1,
+                    clock,
+                )
+    return metrics
+
+
+def hit_path_metrics(config: BenchConfig, clock: Clock) -> Dict[str, Any]:
+    """Latency of loading one stored result-cache entry back from disk."""
+    name = config.benchmarks[0]
+    spec = registry.get(name)
+    system = discrete_gpu_system()
+    options = _options(config, "fast")
+    result, sim_wall = _simulate_version(spec, COPY, system, options)
+    key = cache_key(spec, COPY, system, options)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-hit-") as tmp:
+        cache = ResultCache(tmp)
+        cache.store(key, result, sim_wall_s=sim_wall)
+        cache.load(key)  # warm the page cache; misses are not the metric
+        return {
+            "cache.hit_load.wall_s": measure(
+                lambda: cache.load(key), config.hit_reps, clock
+            )
+        }
+
+
+def _derived(metrics: Dict[str, Any], config: BenchConfig) -> Dict[str, Any]:
+    derived: Dict[str, Any] = {}
+    ref = metrics.get("single_run.reference.wall_s")
+    fast = metrics.get("single_run.fast.wall_s")
+    runs = len(config.benchmarks) * 2
+    if ref and fast:
+        if fast["p50"] > 0:
+            derived["single_run_speedup"] = ref["p50"] / fast["p50"]
+        if fast["min"] > 0:
+            derived["single_run_speedup_best"] = ref["min"] / fast["min"]
+    for impl, record in (("reference", ref), ("fast", fast)):
+        if record and record["p50"] > 0:
+            derived[f"runs_per_sec.{impl}"] = runs / record["p50"]
+    return derived
+
+
+def collect_report(
+    config: BenchConfig,
+    clock: Clock = time.perf_counter,
+    now: Callable[[], float] = time.time,
+) -> Dict[str, Any]:
+    """Run every measurement; return the schema-versioned report dict."""
+    metrics: Dict[str, Any] = {}
+    metrics.update(single_run_metrics(config, clock))
+    metrics.update(hit_path_metrics(config, clock))
+    metrics.update(sweep_metrics(config, clock))
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_unix": float(now()),
+        "git_sha": git_sha(),
+        "machine": machine_fingerprint(),
+        "config": config.to_dict(),
+        "metrics": metrics,
+        "derived": _derived(metrics, config),
+    }
+
+
+def write_report(report: Dict[str, Any], path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def summarize(report: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a report."""
+    lines = [f"bench report ({report.get('schema')})"]
+    sha = report.get("git_sha")
+    if sha:
+        lines[0] += f" @ {sha[:12]}"
+    for name in sorted(report.get("metrics", {})):
+        record = report["metrics"][name]
+        lines.append(
+            f"  {name:32s} p50={record['p50']:.4f}s "
+            f"p95={record['p95']:.4f}s (n={record['reps']})"
+        )
+    for name in sorted(report.get("derived", {})):
+        value = report["derived"][name]
+        lines.append(f"  {name:32s} {value:.3f}")
+    return "\n".join(lines)

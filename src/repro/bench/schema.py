@@ -1,0 +1,162 @@
+"""Schema and comparison logic for ``repro bench`` reports.
+
+A bench report is a plain JSON document (committed as ``BENCH_engine.json``
+at the repo root) with a top-level ``schema`` tag so future layout changes
+can be detected instead of mis-read.  Layout::
+
+    {
+      "schema": "repro.bench/v1",
+      "created_unix": 1754630000.0,
+      "git_sha": "abc123..." | null,
+      "machine": {"platform": ..., "python": ..., "numpy": ..., "cpus": N},
+      "config": {"scale": ..., "reps": ..., "quick": ..., ...},
+      "metrics": {
+        "<metric key>": {
+          "unit": "s",
+          "reps": N,
+          "p50": ..., "p95": ..., "min": ..., "mean": ...,
+          "samples": [...]
+        },
+        ...
+      },
+      "derived": {"single_run_speedup": ..., ...}
+    }
+
+Every metric is wall-clock seconds and *lower is better*; regression
+comparison is on ``p50`` with a multiplicative tolerance.  Metric keys are
+compared by exact name, and only keys present in **both** reports
+participate — a ``--quick`` run therefore checks the subset of metrics it
+measured against a full committed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+#: Version tag of the report layout.  Bump when the layout changes
+#: incompatibly; ``repro bench --compare`` refuses mismatched tags.
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: Required top-level keys of a report.
+_TOP_KEYS = ("schema", "created_unix", "git_sha", "machine", "config", "metrics")
+
+#: Required keys of one metric record.
+_METRIC_KEYS = ("unit", "reps", "p50", "p95", "min", "mean", "samples")
+
+
+def validate_report(report: Any) -> List[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(report, dict):
+        return [f"report must be a JSON object, got {type(report).__name__}"]
+    for key in _TOP_KEYS:
+        if key not in report:
+            errors.append(f"missing top-level key {key!r}")
+    schema = report.get("schema")
+    if "schema" in report and schema != BENCH_SCHEMA:
+        errors.append(f"schema mismatch: expected {BENCH_SCHEMA!r}, got {schema!r}")
+    metrics = report.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict) or not metrics:
+            errors.append("metrics must be a non-empty object")
+        else:
+            for name, record in metrics.items():
+                errors.extend(_validate_metric(name, record))
+    return errors
+
+
+def _validate_metric(name: str, record: Any) -> List[str]:
+    if not isinstance(record, dict):
+        return [f"metric {name!r} must be an object"]
+    errors = []
+    for key in _METRIC_KEYS:
+        if key not in record:
+            errors.append(f"metric {name!r} missing {key!r}")
+    samples = record.get("samples")
+    if isinstance(samples, list):
+        if not samples:
+            errors.append(f"metric {name!r} has no samples")
+        elif not all(isinstance(s, (int, float)) for s in samples):
+            errors.append(f"metric {name!r} has non-numeric samples")
+        reps = record.get("reps")
+        if isinstance(reps, int) and reps != len(samples):
+            errors.append(
+                f"metric {name!r} reps={reps} disagrees with "
+                f"{len(samples)} samples"
+            )
+    for stat in ("p50", "p95", "min", "mean"):
+        value = record.get(stat)
+        if stat in record and not isinstance(value, (int, float)):
+            errors.append(f"metric {name!r} {stat} must be numeric")
+    return errors
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's baseline-vs-current comparison."""
+
+    metric: str
+    baseline_p50: float
+    current_p50: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_p50 <= 0:
+            return float("inf") if self.current_p50 > 0 else 1.0
+        return self.current_p50 / self.baseline_p50
+
+    def describe(self) -> str:
+        return (
+            f"{self.metric}: baseline p50 {self.baseline_p50:.6f}s -> "
+            f"current p50 {self.current_p50:.6f}s ({self.ratio:.2f}x)"
+        )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing a current report against a baseline."""
+
+    compared: List[MetricDelta]
+    regressions: List[MetricDelta]
+    only_baseline: List[str]
+    only_current: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: float,
+) -> Comparison:
+    """Compare shared metrics on p50; lower is better.
+
+    A metric regresses when ``current_p50 > baseline_p50 * tolerance``.
+    Metrics present in only one report are listed but never fail the
+    comparison (a ``--quick`` run measures a subset of the full baseline).
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    base_metrics: Dict[str, Any] = baseline.get("metrics", {})
+    cur_metrics: Dict[str, Any] = current.get("metrics", {})
+    shared = sorted(set(base_metrics) & set(cur_metrics))
+    compared: List[MetricDelta] = []
+    regressions: List[MetricDelta] = []
+    for name in shared:
+        delta = MetricDelta(
+            metric=name,
+            baseline_p50=float(base_metrics[name]["p50"]),
+            current_p50=float(cur_metrics[name]["p50"]),
+        )
+        compared.append(delta)
+        if delta.current_p50 > delta.baseline_p50 * tolerance:
+            regressions.append(delta)
+    return Comparison(
+        compared=compared,
+        regressions=regressions,
+        only_baseline=sorted(set(base_metrics) - set(cur_metrics)),
+        only_current=sorted(set(cur_metrics) - set(base_metrics)),
+    )

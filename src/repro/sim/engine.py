@@ -65,6 +65,12 @@ _COMPONENT_OF_KIND = {
 #:    simulation math is unchanged but the serialized form is richer.
 ENGINE_VERSION = "repro-sim/2"
 
+#: Process-wide memo of synthesized trace parts, shared by every ``fast``
+#: engine instance (see :class:`repro.trace.generator.TraceGenerator`).
+#: Keys fully determine the part's contents, so sharing across pipelines,
+#: systems, and the copy/limited-copy pair is exact.
+_TRACE_MEMO: dict = {}
+
 
 @dataclass(frozen=True)
 class SimOptions:
@@ -78,6 +84,13 @@ class SimOptions:
         line_bytes: cache line size (Table I: 128B).
         collect_log: keep the full off-chip log (needed for Fig. 9); can be
             disabled to save memory on very large runs.
+        engine_impl: cache-simulation implementation — ``"reference"`` (the
+            plain-Python model) or ``"fast"`` (the vectorized twin of
+            :mod:`repro.sim.fastcache`, plus per-stage trace memoization).
+            The two produce bit-identical SimResults (enforced by the
+            differential test suite), so the persistent result cache is
+            shared between them; ``fast`` is purely a wall-clock
+            optimization measured by ``repro bench``.
     """
 
     seed: int = 0
@@ -87,6 +100,7 @@ class SimOptions:
     # Opt-in row-buffer-aware DRAM efficiency (see repro.sim.dram_row); the
     # calibrated default is the paper's flat ~82%-of-pin model.
     dram_row_model: bool = False
+    engine_impl: str = "reference"
 
 
 class Engine:
@@ -116,7 +130,13 @@ class Engine:
         self.system = system
         self.options = options
         self.tracegen = TraceGenerator(
-            pipeline, line_bytes=options.line_bytes, seed=options.seed
+            pipeline,
+            line_bytes=options.line_bytes,
+            seed=options.seed,
+            # The fast path memoizes per-access trace parts process-wide,
+            # so the copy / limited-copy pair (and repeated stages within
+            # one pipeline) synthesize each identical sub-stream once.
+            memo=_TRACE_MEMO if options.engine_impl == "fast" else None,
         )
         coherent = system.kind is SystemKind.HETEROGENEOUS
         self.caches = CacheSystem(
@@ -125,6 +145,7 @@ class Engine:
             gpu_l1=self._aggregate_gpu_l1(),
             gpu_l2=system.gpu.l2,
             coherent=coherent,
+            impl=options.engine_impl,
         )
         self.memory = MemorySystem(system)
         self.copy_engine = CopyEngine(system)
@@ -316,7 +337,7 @@ class Engine:
         trace = self.tracegen.stage_trace(stage)
         stream = trace.stream
         if len(stream):
-            touched[component].append(np.unique(stream.blocks))
+            touched[component].append(trace.unique_ids)
 
         if stage.kind is StageKind.COPY:
             src_blocks = stream.blocks[~stream.is_write]

@@ -1,0 +1,557 @@
+"""Vectorized fast-path implementation of the set-associative LRU cache.
+
+:class:`FastSetAssocCache` is a drop-in replacement for
+:class:`repro.sim.cache.SetAssocCache` that produces bit-identical output
+(downstream stream contents *and order*, statistics, and final cache state)
+while replacing the per-access Python loop with one offline, whole-stream
+numpy computation per ``access_stream`` call.
+
+The algorithm rests on the classic LRU *stack property* (Mattson et al.):
+within one set, an access hits if and only if fewer than ``assoc`` distinct
+blocks of that set were touched since the block's previous access.  The
+call is processed in four vectorized passes:
+
+1. **Set-major layout.** Accesses are grouped by set (one stable argsort),
+   and each set's current stack (LRU -> MRU) is prepended as *virtual*
+   accesses carrying the lines' dirty bits, so pre-existing residency needs
+   no special cases anywhere downstream.
+2. **Classification.** Previous/next occurrences per (set, block) come
+   from one stable argsort of block ids.  An access with reuse gap
+   ``g < assoc`` is a hit and ``g``-independent rules resolve whole sets
+   with at most ``assoc`` distinct blocks; the remainder count distinct
+   blocks in the reuse window exactly, scanning backwards in fixed-width
+   chunks and stopping as soon as the count reaches ``assoc`` (a proven
+   miss).  A pathological stream that exhausts the scan budget falls back
+   to the serial loop for the whole call — state is only committed at the
+   end, so the fallback is always safe.
+3. **Residency runs.** Consecutive occurrences ``[miss, hit...]`` of a
+   block form one residency run whose dirty flag is the OR of its write
+   flags.  A miss evicts iff at least ``assoc`` distinct blocks of the set
+   preceded it, and the victims are exactly the runs with the smallest
+   end positions, matched in time order (evictions consume least-recently
+   -used lines, and a run only becomes evictable after its last hit).
+   Survivors, ordered by end position, are the final LRU -> MRU stacks.
+4. **Downstream assembly.** Each miss emits its fill read, immediately
+   followed by its dirty victim's writeback, rebuilt in original stream
+   order with one cumulative-sum scatter.
+
+Streams shorter than :data:`SERIAL_CUTOFF` skip the fixed numpy overhead
+and use a tuned ``OrderedDict`` loop with the same semantics.  The
+differential suite (``tests/test_engine_equivalence.py``) and the
+Hypothesis property tests (``tests/test_cache_vectorized.py``) hold both
+paths to bit-exact equality with the reference implementation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.config.components import CacheConfig
+from repro.sim.cache import CacheStats
+from repro.trace.stream import AccessStream
+
+#: Streams shorter than this use the serial loop; the offline passes cost
+#: a handful of argsorts/scans whose fixed overhead only amortizes on
+#: reasonably long streams.
+SERIAL_CUTOFF = 512
+
+#: Reuse-window scan widths (columns per backward chunk) by associativity.
+#: Wider windows resolve high-associativity sets in one pass; narrow ones
+#: waste less work when ``assoc`` is small.
+_WINDOW_LARGE = 24
+_WINDOW_MEDIUM = 16
+_WINDOW_SMALL = 8
+
+
+def _window_width(assoc: int) -> int:
+    if assoc <= 4:
+        return _WINDOW_SMALL
+    if assoc <= 8:
+        return _WINDOW_MEDIUM
+    return _WINDOW_LARGE
+
+#: Backward-scan element budget multiplier (times the padded stream
+#: length).  Exceeding it aborts the offline pass — before any state is
+#: mutated — and reruns the whole call through the serial loop.
+_RESIDUE_BUDGET_FACTOR = 32
+
+#: Element bound of one window-scan chunk (keeps gather matrices small).
+_CHUNK_ELEMS = 1 << 21
+
+#: Above this many lookup blocks, ``invalidate``/``flush`` narrow the
+#: candidate set with one vectorized membership test first.
+_BULK_LOOKUP_MIN = 64
+
+
+def _stable_argsort_ids(values: np.ndarray) -> np.ndarray:
+    """Stable argsort of non-negative ids, via 16-bit radix when possible.
+
+    numpy's stable sort is a radix sort for <= 16-bit integers but falls
+    back to mergesort (~10x slower) for wider types.  Ids below 2**32 sort
+    stably as two 16-bit passes, low half first; wider values use the
+    generic path.
+    """
+    n = len(values)
+    if n < 2:
+        return np.arange(n, dtype=np.int64)
+    peak = int(values.max())
+    if peak < 1 << 16:
+        return np.argsort(values.astype(np.uint16), kind="stable")
+    if peak < 1 << 32:
+        low = (values & 0xFFFF).astype(np.uint16)
+        high = (values >> 16).astype(np.uint16)
+        order = np.argsort(low, kind="stable")
+        return order[np.argsort(high[order], kind="stable")]
+    return np.argsort(values, kind="stable")
+
+
+class FastSetAssocCache:
+    """Bit-exact vectorized twin of :class:`~repro.sim.cache.SetAssocCache`.
+
+    State is one insertion-ordered ``OrderedDict`` per set mapping block id
+    to its dirty flag; iteration order is LRU -> MRU, exactly the per-set
+    list order of the reference implementation.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.assoc = config.associativity
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._sets[block % self.num_sets]
+
+    @property
+    def resident_blocks(self) -> Set[int]:
+        """Snapshot of resident block ids (unlike the reference, a copy)."""
+        return {block for lru in self._sets for block in lru}
+
+    def resident_array(self) -> np.ndarray:
+        """Resident block ids as an int64 array (for vectorized probes)."""
+        blocks = [block for lru in self._sets for block in lru]
+        return np.asarray(blocks, dtype=np.int64)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(lru) for lru in self._sets)
+
+    def is_dirty(self, block: int) -> bool:
+        return self._sets[block % self.num_sets].get(block, False)
+
+    # -- the hot path ----------------------------------------------------------
+
+    def access_stream(self, stream: AccessStream) -> AccessStream:
+        """Run a stream through the cache; return the downstream stream.
+
+        Identical contract to the reference: the downstream stream holds, in
+        occurrence order, a read for every miss fill and a write for every
+        dirty eviction.
+        """
+        n = len(stream)
+        if not n:
+            return AccessStream.empty()
+        blocks = stream.blocks
+        is_write = stream.is_write
+        if n >= SERIAL_CUTOFF:
+            processed = self._process_offline(blocks, is_write)
+        else:
+            processed = None
+        if processed is None:
+            processed = self._process_serial(blocks, is_write)
+        out_b, out_w, hits, writebacks = processed
+        self.stats.accesses += n
+        self.stats.hits += hits
+        self.stats.misses += n - hits
+        self.stats.writebacks += writebacks
+        return AccessStream(out_b, out_w)
+
+    def _process_serial(
+        self, blocks: np.ndarray, is_write: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, int, int]:
+        """Reference-semantics loop (short streams and the safety net)."""
+        sets = self._sets
+        num_sets = self.num_sets
+        assoc = self.assoc
+        out_b: List[int] = []
+        out_w: List[bool] = []
+        append_b = out_b.append
+        append_w = out_w.append
+        hits = 0
+        writebacks = 0
+        for block, write in zip(blocks.tolist(), is_write.tolist()):
+            lru = sets[block % num_sets]
+            if block in lru:
+                lru.move_to_end(block)
+                if write:
+                    lru[block] = True
+                hits += 1
+            else:
+                append_b(block)
+                append_w(False)
+                lru[block] = write
+                if len(lru) > assoc:
+                    victim, victim_dirty = lru.popitem(last=False)
+                    if victim_dirty:
+                        append_b(victim)
+                        append_w(True)
+                        writebacks += 1
+        return (
+            np.asarray(out_b, dtype=np.int64),
+            np.asarray(out_w, dtype=bool),
+            hits,
+            writebacks,
+        )
+
+    def _process_offline(
+        self, blocks: np.ndarray, is_write: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, int, int]]:
+        """Whole-call vectorized processing; None if the scan budget blows.
+
+        Mutates no state until every classification is final, so a None
+        return leaves the cache ready for the serial fallback.
+        """
+        n = len(blocks)
+        num_sets = self.num_sets
+        assoc = self.assoc
+
+        # ---- set-major layout with each set's stack as a virtual prefix ----
+        k = np.fromiter((len(lru) for lru in self._sets), np.int64, num_sets)
+        if num_sets > 1:
+            if num_sets & (num_sets - 1) == 0:
+                set_ids = blocks & (num_sets - 1)
+            else:
+                set_ids = blocks % num_sets
+            real_counts = np.bincount(set_ids, minlength=num_sets)
+            order = _stable_argsort_ids(set_ids)
+        else:
+            real_counts = np.asarray([n], dtype=np.int64)
+            order = None
+
+        total_counts = k + real_counts
+        m = int(total_counts.sum())
+        starts = np.zeros(num_sets + 1, dtype=np.int64)
+        np.cumsum(total_counts, out=starts[1:])
+
+        sm_block = np.empty(m, dtype=np.int64)
+        sm_write = np.empty(m, dtype=bool)
+        sm_real = np.full(m, -1, dtype=np.int32)
+        total_k = int(k.sum())
+        if total_k:
+            # Flatten every set's stack in one pass; row `starts[s] + j` is
+            # the j-th (LRU-most) virtual line of set s.
+            vdest = np.arange(total_k, dtype=np.int64) + np.repeat(
+                starts[:-1] - np.concatenate([np.zeros(1, np.int64), k.cumsum()[:-1]]),
+                k,
+            )
+            sm_block[vdest] = np.fromiter(
+                (b for lru in self._sets for b in lru), np.int64, total_k
+            )
+            sm_write[vdest] = np.fromiter(
+                (d for lru in self._sets for d in lru.values()), bool, total_k
+            )
+        if order is None:
+            base = int(k[0])
+            sm_block[base:] = blocks
+            sm_write[base:] = is_write
+            sm_real[base:] = np.arange(n, dtype=np.int32)
+        else:
+            sorted_sets = set_ids[order]
+            cum_real = np.zeros(num_sets + 1, dtype=np.int32)
+            np.cumsum(real_counts, out=cum_real[1:])
+            dest = (
+                np.arange(n, dtype=np.int32)
+                - cum_real[sorted_sets]
+                + (starts[:-1] + k)[sorted_sets].astype(np.int32)
+            )
+            sm_block[dest] = blocks[order]
+            sm_write[dest] = is_write[order]
+            sm_real[dest] = order
+
+        set_of_row = np.repeat(np.arange(num_sets, dtype=np.int32), total_counts)
+        # Positions fit comfortably in int32; narrower arrays halve the
+        # memory traffic of the gather-heavy passes below.
+        pos_in_set = np.arange(m, dtype=np.int32) - starts[set_of_row].astype(
+            np.int32
+        )
+
+        # ---- previous/next occurrence within each (set, block) ----
+        # A block id determines its set, so one stable sort by block id
+        # groups occurrences per (set, block) in time order (virtual rows
+        # precede real ones by construction).
+        bo = _stable_argsort_ids(sm_block)
+        bo_blocks = sm_block[bo]
+        same = bo_blocks[1:] == bo_blocks[:-1]
+        prevpos = np.full(m, -1, dtype=np.int32)
+        nextpos = np.full(m, m, dtype=np.int32)
+        prevpos[bo[1:][same]] = pos_in_set[bo[:-1][same]]
+        nextpos[bo[:-1][same]] = pos_in_set[bo[1:][same]]
+        first_occ = prevpos < 0
+
+        # ---- classification: hit iff < assoc distinct blocks in the gap ----
+        g = pos_in_set - prevpos  # same-set accesses since previous use
+        g -= 1
+        repeat_occ = ~first_occ
+        hit = repeat_occ & (g < assoc)
+        cs = np.cumsum(first_occ, dtype=np.int32)
+        set_distinct = np.bincount(set_of_row[first_occ], minlength=num_sets)
+        small = set_distinct <= assoc
+        if small.any():
+            # Sets whose whole working set fits never evict: every repeat hits.
+            hit |= repeat_occ & small[set_of_row]
+        pend = np.nonzero(repeat_occ & ~hit)[0]
+        if len(pend):
+            # Cheap miss proof before any window scan: first occurrences
+            # inside the reuse gap are pairwise-distinct blocks, and gap
+            # rows are contiguous in the set-major layout, so two gathers
+            # of the running first-occurrence count lower-bound the gap's
+            # distinct count.  High-entropy streams resolve almost every
+            # pending row here.
+            fo_gap = cs[pend - 1] - cs[pend - 1 - g[pend]]
+            pend = pend[fo_gap < assoc]
+        if len(pend):
+            window = _window_width(assoc)
+            hit_pend = _window_classify(
+                pend, g, pos_in_set, nextpos, assoc, window, m
+            )
+            if hit_pend is None:
+                return None
+            hit[pend[hit_pend]] = True
+
+        # ---- evictions: a miss evicts iff >= assoc distinct preceded it ----
+        miss = ~hit  # virtual rows count as "misses" but never evict/emit
+        seen_before_set = np.concatenate([np.zeros(1, np.int32), cs])[starts[:-1]]
+        distinct_before = cs - np.repeat(seen_before_set, total_counts)
+        distinct_before -= first_occ
+        evict = miss & (distinct_before >= assoc)
+
+        # ---- residency runs ([miss, hit...] per block, in bo order) ----
+        hit_bo = hit[bo]
+        run_start = np.nonzero(~hit_bo)[0]
+        nruns = len(run_start)
+        run_end = np.empty(nruns, dtype=np.int64)
+        run_end[:-1] = run_start[1:] - 1
+        run_end[-1] = m - 1
+        run_dirty = np.bitwise_or.reduceat(sm_write[bo], run_start)
+        run_end_row = bo[run_end]
+        run_block = bo_blocks[run_start]
+        run_set = set_of_row[run_end_row]
+
+        # Per set, victims are the runs with the smallest end positions,
+        # matched to the evicting misses in time order.  Sets are contiguous
+        # in the set-major layout, so ordering runs by (set, end position)
+        # is simply ordering them by end row.
+        run_sort = _stable_argsort_ids(run_end_row)
+        runs_per_set = np.bincount(run_set, minlength=num_sets)
+        run_off = np.zeros(num_sets + 1, dtype=np.int64)
+        np.cumsum(runs_per_set, out=run_off[1:])
+
+        evict_rows = np.nonzero(evict)[0]  # ascending = per-set time order
+        evicts_per_set = np.bincount(set_of_row[evict_rows], minlength=num_sets)
+        wb_block = np.full(n, -1, dtype=np.int64)
+        dirty_evictions = 0
+        if len(evict_rows):
+            eoff = np.zeros(num_sets + 1, dtype=np.int64)
+            np.cumsum(evicts_per_set, out=eoff[1:])
+            es = set_of_row[evict_rows]
+            rank = np.arange(len(evict_rows), dtype=np.int64) - eoff[es]
+            victim_run = run_sort[run_off[es] + rank]
+            victim_dirty = run_dirty[victim_run]
+            dirty_evictions = int(victim_dirty.sum())
+            if dirty_evictions:
+                wb_block[sm_real[evict_rows[victim_dirty]]] = run_block[
+                    victim_run[victim_dirty]
+                ]
+
+        # ---- downstream assembly in original stream order ----
+        miss_orig = np.zeros(n, dtype=bool)
+        miss_orig[sm_real[miss & (sm_real >= 0)]] = True
+        if dirty_evictions:
+            has_wb = wb_block >= 0
+            counts = np.add(miss_orig, has_wb, dtype=np.int8)
+            offsets = np.cumsum(counts, dtype=np.int32)
+            total = int(offsets[-1])
+            offsets -= counts
+            out_b = np.empty(total, dtype=np.int64)
+            out_w = np.zeros(total, dtype=bool)
+            out_b[offsets[miss_orig]] = blocks[miss_orig]
+            wb_pos = offsets[has_wb] + 1
+            out_b[wb_pos] = wb_block[has_wb]
+            out_w[wb_pos] = True
+        else:
+            # No dirty victims: the downstream is just the miss fills.
+            out_b = blocks[miss_orig]
+            out_w = np.zeros(len(out_b), dtype=bool)
+
+        # ---- commit final state: surviving runs, end position ascending ----
+        new_sets: List["OrderedDict[int, bool]"] = []
+        for s in range(num_sets):
+            lo = int(run_off[s] + evicts_per_set[s])
+            hi = int(run_off[s + 1])
+            sel = run_sort[lo:hi]
+            new_sets.append(
+                OrderedDict(zip(run_block[sel].tolist(), run_dirty[sel].tolist()))
+            )
+        self._sets = new_sets
+
+        hits_count = n - int(miss_orig.sum())
+        return out_b, out_w, hits_count, dirty_evictions
+
+    # -- maintenance ----------------------------------------------------------
+
+    def extract(self, block: int) -> bool:
+        """Silently remove a line (ownership migrated to a peer cache)."""
+        lru = self._sets[block % self.num_sets]
+        if block in lru:
+            del lru[block]
+            return True
+        return False
+
+    def _narrow(self, blocks: Iterable[int]) -> Iterable[int]:
+        """Restrict a bulk lookup to blocks actually resident, in order."""
+        arr = np.asarray(
+            blocks if isinstance(blocks, np.ndarray) else list(blocks),
+            dtype=np.int64,
+        )
+        if len(arr) < _BULK_LOOKUP_MIN:
+            return arr.tolist()
+        resident = self.resident_array()
+        if not len(resident):
+            return ()
+        return arr[np.isin(arr, resident)].tolist()
+
+    def invalidate(self, blocks: Iterable[int]) -> int:
+        """Drop any of the given lines without writeback (DMA overwrite)."""
+        dropped = 0
+        sets = self._sets
+        num_sets = self.num_sets
+        for block in self._narrow(blocks):
+            lru = sets[block % num_sets]
+            if block in lru:
+                del lru[block]
+                dropped += 1
+        self.stats.invalidations += dropped
+        return dropped
+
+    def flush(self, blocks: Iterable[int]) -> List[int]:
+        """Write back and drop any dirty copies of the given lines."""
+        written: List[int] = []
+        sets = self._sets
+        num_sets = self.num_sets
+        for block in self._narrow(blocks):
+            lru = sets[block % num_sets]
+            if block in lru:
+                if lru.pop(block):
+                    written.append(block)
+        self.stats.writebacks += len(written)
+        return written
+
+    def drain(self) -> List[int]:
+        """Write back every dirty line and empty the cache (end of ROI)."""
+        written = sorted(
+            block
+            for lru in self._sets
+            for block, dirty in lru.items()
+            if dirty
+        )
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats.writebacks += len(written)
+        return written
+
+
+def _window_classify(
+    pend: np.ndarray,
+    g: np.ndarray,
+    pos_in_set: np.ndarray,
+    nextpos: np.ndarray,
+    assoc: int,
+    window: int,
+    m: int,
+) -> Optional[np.ndarray]:
+    """Exact windowed distinct counts for the unresolved accesses.
+
+    For a pending row at per-set position ``p`` with reuse gap ``g``, the
+    distinct blocks in the gap are exactly the gap rows that are the *last*
+    occurrence of their block inside it (``nextpos >= p``).  Scanning the
+    gap backwards ``window`` columns at a time, the count is exact once the
+    gap is exhausted, and a partial count already >= ``assoc`` proves a
+    miss.  Gap rows never leave the set: a row within the gap lies strictly
+    between the previous occurrence and ``p``.
+
+    Returns a hit mask aligned with ``pend``, or None if a pathological
+    stream (huge gaps of repeats) exceeds the scan budget.
+    """
+    rows = pend
+    # Narrow value arrays cut the gather traffic of the window matrices,
+    # the dominant cost of this pass.
+    if m < np.iinfo(np.int16).max:
+        nextpos = nextpos.astype(np.int16)
+        p = pos_in_set[rows].astype(np.int16)
+    else:
+        p = pos_in_set[rows]
+    gaps = g[rows]
+    cols = np.arange(window, dtype=np.int64)
+    hit_out = np.zeros(len(rows), dtype=bool)
+    budget = _RESIDUE_BUDGET_FACTOR * m + (1 << 16)
+    chunk = max(1, _CHUNK_ELEMS // window)
+
+    # Rows whose whole gap fits in one window: one masked pass, exact.
+    exact_idx = np.nonzero(gaps <= window)[0]
+    for lo in range(0, len(exact_idx), chunk):
+        sel = exact_idx[lo : lo + chunk]
+        r = rows[sel]
+        gg = gaps[sel]
+        within = cols[None, :] < gg[:, None]
+        j = r[:, None] - 1 - cols[None, :]
+        np.maximum(j, 0, out=j)  # masked entries only; keep the gather legal
+        distinct = ((nextpos[j] >= p[sel, None]) & within).sum(axis=1)
+        hit_out[sel] = distinct < assoc
+
+    # Rows with wider gaps: every window column is a valid gap row (no
+    # mask, no clipping), and a partial count >= assoc already proves a
+    # miss; survivors carry their count into the backward residue scan.
+    big_idx = np.nonzero(gaps > window)[0]
+    residue_idx: List[np.ndarray] = []
+    residue_acc: List[np.ndarray] = []
+    for lo in range(0, len(big_idx), chunk):
+        sel = big_idx[lo : lo + chunk]
+        r = rows[sel]
+        j = r[:, None] - 1 - cols[None, :]
+        distinct = (nextpos[j] >= p[sel, None]).sum(axis=1)
+        unresolved = distinct < assoc
+        if unresolved.any():
+            residue_idx.append(sel[unresolved])
+            residue_acc.append(distinct[unresolved])
+
+    if residue_idx:
+        idx = np.concatenate(residue_idx)
+        acc = np.concatenate(residue_acc)
+        offset = window
+        while len(idx):
+            budget -= len(idx) * window
+            if budget < 0:
+                return None
+            r = rows[idx]
+            gg = gaps[idx]
+            cols2 = offset + cols
+            within = cols2[None, :] < gg[:, None]
+            j = r[:, None] - 1 - cols2[None, :]
+            np.maximum(j, 0, out=j)
+            acc = acc + ((nextpos[j] >= p[idx, None]) & within).sum(axis=1)
+            proven_miss = acc >= assoc
+            scanned_all = gg <= offset + window
+            hit_out[idx[scanned_all & ~proven_miss]] = True
+            keep = ~proven_miss & ~scanned_all
+            idx = idx[keep]
+            acc = acc[keep]
+            offset += window
+    return hit_out

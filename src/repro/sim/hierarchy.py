@@ -21,7 +21,15 @@ import numpy as np
 
 from repro.config.components import CacheConfig
 from repro.sim.cache import SetAssocCache
+from repro.sim.fastcache import FastSetAssocCache
 from repro.trace.stream import AccessStream
+
+#: Selectable cache-simulation implementations.  ``reference`` is the
+#: plain-Python model of :mod:`repro.sim.cache`; ``fast`` is the
+#: bit-exact vectorized twin of :mod:`repro.sim.fastcache` (equivalence
+#: enforced by tests/test_engine_equivalence.py and
+#: tests/test_cache_vectorized.py).
+CACHE_IMPLS = {"reference": SetAssocCache, "fast": FastSetAssocCache}
 
 
 class Component(enum.Enum):
@@ -107,10 +115,22 @@ class DomainResult:
 class Domain:
     """A core complex's private cache hierarchy (L1 -> L2 -> memory)."""
 
-    def __init__(self, name: str, l1: CacheConfig, l2: CacheConfig):
+    def __init__(
+        self,
+        name: str,
+        l1: CacheConfig,
+        l2: CacheConfig,
+        impl: str = "reference",
+    ):
+        if impl not in CACHE_IMPLS:
+            raise ValueError(
+                f"unknown cache impl {impl!r}; choose from {sorted(CACHE_IMPLS)}"
+            )
         self.name = name
-        self.l1 = SetAssocCache(l1, name=f"{name}.l1")
-        self.l2 = SetAssocCache(l2, name=f"{name}.l2")
+        self.impl = impl
+        cache_cls = CACHE_IMPLS[impl]
+        self.l1 = cache_cls(l1, name=f"{name}.l1")
+        self.l2 = cache_cls(l2, name=f"{name}.l2")
 
     def process(
         self,
@@ -136,6 +156,8 @@ class Domain:
         if peer is None:
             blocks, is_write = below_l2.blocks, below_l2.is_write
             transfers = 0
+        elif self.impl == "fast":
+            blocks, is_write, transfers = self._probe_peer_fast(below_l2, peer)
         else:
             peer_resident = peer.l2.resident_blocks
             keep = np.ones(len(below_l2), dtype=bool)
@@ -161,18 +183,64 @@ class Domain:
             len(stream), reads, writes, transfers, offchip_blocks=blocks
         )
 
+    def _probe_peer_fast(
+        self, below_l2: AccessStream, peer: "Domain"
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Vectorized coherent peer probe, bit-exact with the loop above.
+
+        Only reads probe the peer, and extraction removes the line, so only
+        the *first* read of each resident block is an on-chip transfer —
+        later reads of the same block (and all writebacks) go to memory.
+        """
+        resident = peer.l2.resident_array()
+        if not len(resident):
+            return below_l2.blocks, below_l2.is_write, 0
+        candidates = np.nonzero(
+            ~below_l2.is_write & np.isin(below_l2.blocks, resident)
+        )[0]
+        keep = np.ones(len(below_l2), dtype=bool)
+        transfers = 0
+        taken: set = set()
+        for i in candidates.tolist():
+            block = int(below_l2.blocks[i])
+            if block in taken:
+                continue
+            taken.add(block)
+            peer.l2.extract(block)
+            peer.l1.extract(block)
+            keep[i] = False
+            transfers += 1
+        if not transfers:
+            return below_l2.blocks, below_l2.is_write, 0
+        return below_l2.blocks[keep], below_l2.is_write[keep], transfers
+
     def invalidate(self, blocks: np.ndarray) -> None:
         """Drop lines in both levels without writeback (DMA overwrite)."""
-        unique = np.unique(blocks).tolist()
+        unique = self._lookup_list(blocks)
         self.l1.invalidate(unique)
         self.l2.invalidate(unique)
 
     def flush(self, blocks: np.ndarray) -> List[int]:
         """Write back dirty copies of the given lines (pre-DMA-read flush)."""
-        unique = np.unique(blocks).tolist()
+        unique = self._lookup_list(blocks)
         written = self.l1.flush(unique)
         written += self.l2.flush(unique)
         return written
+
+    def _lookup_list(self, blocks: np.ndarray):
+        """Sorted unique lookup blocks, in whichever form the impl prefers.
+
+        Copy streams are usually already sorted runs of block ids, so the
+        hash-based ``np.unique`` is skipped when a cheap monotonicity check
+        passes.  The fast impl narrows lookups vectorized and prefers the
+        ndarray; the reference loop is faster over a plain list.
+        """
+        arr = np.asarray(blocks, dtype=np.int64)
+        if len(arr) > 1 and not np.all(arr[1:] > arr[:-1]):
+            arr = np.unique(arr)
+        if self.impl == "fast":
+            return arr
+        return arr.tolist()
 
 
 class CacheSystem:
@@ -185,10 +253,12 @@ class CacheSystem:
         gpu_l1: CacheConfig,
         gpu_l2: CacheConfig,
         coherent: bool,
+        impl: str = "reference",
     ):
-        self.cpu = Domain("cpu", cpu_l1, cpu_l2)
-        self.gpu = Domain("gpu", gpu_l1, gpu_l2)
+        self.cpu = Domain("cpu", cpu_l1, cpu_l2, impl=impl)
+        self.gpu = Domain("gpu", gpu_l1, gpu_l2, impl=impl)
         self.coherent = coherent
+        self.impl = impl
         self.log = OffChipLog()
 
     def domain_for(self, component: Component) -> Domain:

@@ -11,7 +11,9 @@ everything that determines its value:
 * the sweep version string (``copy`` / ``limited-copy``),
 * the full :class:`~repro.config.system.SystemConfig`,
 * the full :class:`~repro.sim.engine.SimOptions` (including ``scale`` and
-  ``seed`` — two sweeps at different scales never collide), and
+  ``seed`` — two sweeps at different scales never collide) *except*
+  ``engine_impl``, whose reference/fast implementations are bit-identical
+  and therefore share entries, and
 * :data:`repro.sim.engine.ENGINE_VERSION`, so bumping the tag invalidates
   every archived result at once.
 
@@ -106,13 +108,20 @@ def cache_key(
     engine_version: str = ENGINE_VERSION,
 ) -> str:
     """Stable SHA-256 key of one (benchmark, version, system, options) run."""
+    options_view = canonical(options)
+    # ``engine_impl`` selects between bit-identical implementations (the
+    # differential suite in tests/test_engine_equivalence.py enforces
+    # this), so it is deliberately excluded from the key: reference and
+    # fast runs share cache entries, and keys match those written before
+    # the option existed.  tests/test_resultcache.py pins this sharing.
+    options_view.pop("engine_impl", None)
     payload = {
         "schema": CACHE_SCHEMA,
         "engine": engine_version,
         "benchmark": spec_fingerprint(spec),
         "version": version,
         "system": canonical(system),
-        "options": canonical(options),
+        "options": options_view,
     }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -9,8 +9,8 @@ identical stream, which the test suite relies on.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, MutableMapping, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +25,24 @@ from repro.trace.stream import AccessStream, interleave
 GRAPH_HOT_ACCESS_FRACTION = 0.3
 #: Fraction of a graph region considered hot.
 GRAPH_HOT_BLOCK_FRACTION = 0.05
+
+#: Patterns whose synthesis never draws from the RNG: their parts are a
+#: pure function of (block range, fraction, passes), so a memo can share
+#: them across stages and seeds.  RANDOM/POINTER_CHASE/GRAPH sample from
+#: the per-(seed, pipeline, stage, access) RNG and memoize per seed.
+_RNG_FREE_PATTERNS = frozenset(
+    {
+        AccessPattern.STREAMING,
+        AccessPattern.STRIDED,
+        AccessPattern.REDUCTION,
+        AccessPattern.BROADCAST,
+        AccessPattern.STENCIL,
+    }
+)
+
+#: Entry bound of a trace-part memo; cleared wholesale when exceeded so a
+#: long-lived process sweeping many scales cannot grow without limit.
+_MEMO_MAX_ENTRIES = 1024
 
 
 class BufferLayout:
@@ -153,6 +171,10 @@ class StageTrace:
     stream: AccessStream
     unique_blocks: int
     bytes_touched: int
+    #: Sorted unique block ids of the stream (consumers needing the footprint
+    #: reuse this instead of recomputing ``np.unique``).  Shared, do not
+    #: mutate.
+    unique_ids: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
 
 
 class TraceGenerator:
@@ -165,16 +187,24 @@ class TraceGenerator:
         seed: int = 0,
         page_bytes: int = 4096,
         max_accesses_per_access: int = 8_000_000,
+        memo: Optional[MutableMapping] = None,
     ):
         self.pipeline = pipeline
         self.layout = BufferLayout(pipeline, line_bytes=line_bytes, page_bytes=page_bytes)
         self.seed = seed
         self.max_accesses = max_accesses_per_access
+        #: Optional part-level memo (key -> AccessStream).  Keys capture
+        #: everything a part depends on — including the stable per-access
+        #: seed whenever the RNG is consumed — so entries may be shared
+        #: across generators (the engine passes one process-wide dict).
+        #: Memoized streams are shared objects and must not be mutated.
+        self.memo = memo
+
+    def _seed_for(self, stage: Stage, access_index: int) -> int:
+        return _stable_seed(self.seed, self.pipeline.name, stage.name, access_index)
 
     def _rng(self, stage: Stage, access_index: int) -> np.random.Generator:
-        return np.random.default_rng(
-            _stable_seed(self.seed, self.pipeline.name, stage.name, access_index)
-        )
+        return np.random.default_rng(self._seed_for(stage, access_index))
 
     def _misaligned(self, stage: Stage, access: BufferAccess) -> bool:
         if not self.pipeline.limited_copy or stage.kind is not StageKind.GPU_KERNEL:
@@ -182,29 +212,104 @@ class TraceGenerator:
         buf: Buffer = self.pipeline.buffers[access.buffer]
         return not buf.cpu_line_aligned
 
+    def _part_key(
+        self,
+        stage: Stage,
+        access: BufferAccess,
+        access_index: int,
+        is_write: bool,
+    ) -> Tuple:
+        """Everything one access's sub-stream depends on, as a hashable key.
+
+        RNG-free parts drop the seed from the key so identical
+        (range, pattern) accesses share across stages and pipelines.
+        """
+        lo, hi = self.layout.block_range(access)
+        misaligned = self._misaligned(stage, access)
+        uses_rng = misaligned or access.pattern not in _RNG_FREE_PATTERNS
+        return (
+            self._seed_for(stage, access_index) if uses_rng else None,
+            lo,
+            hi,
+            access.pattern.value,
+            access.fraction,
+            access.passes,
+            self.max_accesses,
+            misaligned,
+            is_write,
+        )
+
+    def _memo_put(self, key: Tuple, value: object) -> None:
+        if len(self.memo) >= _MEMO_MAX_ENTRIES:
+            self.memo.clear()
+        self.memo[key] = value
+
+    def _part(
+        self,
+        stage: Stage,
+        access: BufferAccess,
+        access_index: int,
+        is_write: bool,
+    ) -> AccessStream:
+        """One access's sub-stream, memoized when a memo is attached."""
+        if self.memo is not None:
+            key = self._part_key(stage, access, access_index, is_write)
+            cached = self.memo.get(key)
+            if cached is not None:
+                return cached
+        else:
+            key = None
+        lo, hi = self.layout.block_range(access)
+        misaligned = self._misaligned(stage, access)
+        rng = self._rng(stage, access_index)
+        blocks = _synthesize(access, lo, hi, rng, self.max_accesses)
+        part = AccessStream(
+            blocks, np.full(len(blocks), is_write, dtype=bool)
+        )
+        if misaligned:
+            part = apply_misalignment(part, rng)
+        if key is not None:
+            self._memo_put(key, part)
+        return part
+
+    def _stage_key(self, stage: Stage) -> Tuple:
+        """A whole stage's trace is determined by its parts' keys in order."""
+        return ("stage",) + tuple(
+            self._part_key(stage, access, index + offset, is_write)
+            for offset, accesses, is_write in (
+                (0, stage.reads, False),
+                (1000, stage.writes, True),
+            )
+            for index, access in enumerate(accesses)
+        )
+
     def stage_trace(self, stage: Stage) -> StageTrace:
         """Generate the full (interleaved) access stream for one stage."""
+        if self.memo is not None:
+            # Iterated pipelines replay identical stages many times; the
+            # interleave and the unique-block count both memoize at stage
+            # granularity on top of the per-part memo.
+            stage_key = self._stage_key(stage)
+            cached = self.memo.get(stage_key)
+            if cached is not None:
+                return cached
+        else:
+            stage_key = None
         parts = []
         for index, access in enumerate(stage.reads):
-            rng = self._rng(stage, index)
-            lo, hi = self.layout.block_range(access)
-            blocks = _synthesize(access, lo, hi, rng, self.max_accesses)
-            part = AccessStream(blocks, np.zeros(len(blocks), dtype=bool))
-            if self._misaligned(stage, access):
-                part = apply_misalignment(part, rng)
-            parts.append(part)
+            parts.append(self._part(stage, access, index, is_write=False))
         for index, access in enumerate(stage.writes):
-            rng = self._rng(stage, 1000 + index)
-            lo, hi = self.layout.block_range(access)
-            blocks = _synthesize(access, lo, hi, rng, self.max_accesses)
-            part = AccessStream(blocks, np.ones(len(blocks), dtype=bool))
-            if self._misaligned(stage, access):
-                part = apply_misalignment(part, rng)
-            parts.append(part)
+            parts.append(self._part(stage, access, 1000 + index, is_write=True))
         stream = interleave(parts)
-        unique = len(np.unique(stream.blocks)) if len(stream) else 0
-        return StageTrace(
-            stream=stream,
-            unique_blocks=unique,
-            bytes_touched=unique * self.layout.line_bytes,
+        unique_ids = (
+            np.unique(stream.blocks) if len(stream) else np.empty(0, np.int64)
         )
+        trace = StageTrace(
+            stream=stream,
+            unique_blocks=len(unique_ids),
+            bytes_touched=len(unique_ids) * self.layout.line_bytes,
+            unique_ids=unique_ids,
+        )
+        if stage_key is not None:
+            self._memo_put(stage_key, trace)
+        return trace

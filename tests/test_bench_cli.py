@@ -1,0 +1,220 @@
+"""Tests for ``repro bench``: exit codes, schema, comparison, determinism.
+
+Exit-code contract: 0 on success (including a clean ``--compare``), 1 when
+the comparison finds a regression beyond tolerance, 2 on usage errors
+(bad tolerance/reps, unreadable or schema-invalid baseline).  Usage errors
+are all detected *before* any measurement, so those tests are instant; the
+success/regression paths stub :func:`repro.bench.collect_report` with a
+canned report.  One end-to-end test runs the real harness twice under a
+deterministic fake clock and requires byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BenchConfig,
+    collect_report,
+    compare_reports,
+    validate_report,
+    write_report,
+)
+from repro.cli import main
+
+
+def make_report(p50s, **overrides):
+    """A minimal schema-valid report with the given metric p50s."""
+    metrics = {
+        name: {
+            "unit": "s",
+            "reps": 1,
+            "p50": p50,
+            "p95": p50,
+            "min": p50,
+            "mean": p50,
+            "samples": [p50],
+        }
+        for name, p50 in p50s.items()
+    }
+    report = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": 0.0,
+        "git_sha": None,
+        "machine": {"platform": "test"},
+        "config": {},
+        "metrics": metrics,
+        "derived": {},
+    }
+    report.update(overrides)
+    return report
+
+
+class FakeClock:
+    """Monotonic fake clock: every measured interval is exactly 1.0s."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+# -- usage errors (exit 2), all checked before any measurement runs --------
+
+
+def test_nonpositive_tolerance_exits_2(capsys):
+    assert main(["bench", "--tolerance", "0"]) == 2
+    assert "--tolerance must be positive" in capsys.readouterr().err
+
+
+def test_negative_tolerance_exits_2():
+    assert main(["bench", "--tolerance", "-1.5"]) == 2
+
+
+def test_zero_reps_exits_2(capsys):
+    assert main(["bench", "--reps", "0"]) == 2
+    assert "--reps must be at least 1" in capsys.readouterr().err
+
+
+def test_missing_baseline_exits_2(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["bench", "--compare", str(missing)]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_unparseable_baseline_exits_2(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["bench", "--compare", str(bad)]) == 2
+
+
+def test_schema_invalid_baseline_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "other/v9", "metrics": {}}))
+    assert main(["bench", "--compare", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "invalid baseline" in err
+    assert "schema mismatch" in err
+
+
+# -- success and regression paths (canned collect_report) ------------------
+
+
+@pytest.fixture
+def canned(monkeypatch):
+    """Replace the measurement with a canned current report."""
+
+    def set_current(report):
+        monkeypatch.setattr("repro.bench.collect_report", lambda config: report)
+
+    return set_current
+
+
+def test_compare_within_tolerance_exits_0(tmp_path, canned, capsys):
+    baseline = tmp_path / "base.json"
+    baseline.write_text(json.dumps(make_report({"m.wall_s": 1.0})))
+    canned(make_report({"m.wall_s": 1.4}))
+    assert main(["bench", "--compare", str(baseline), "--tolerance", "1.5"]) == 0
+    assert "no regressions across 1 shared metric(s)" in capsys.readouterr().out
+
+
+def test_compare_regression_exits_1(tmp_path, canned, capsys):
+    baseline = tmp_path / "base.json"
+    baseline.write_text(json.dumps(make_report({"m.wall_s": 1.0})))
+    canned(make_report({"m.wall_s": 1.6}))
+    assert main(["bench", "--compare", str(baseline), "--tolerance", "1.5"]) == 1
+    err = capsys.readouterr().err
+    assert "1 regression(s)" in err
+    assert "m.wall_s" in err
+
+
+def test_compare_improvement_exits_0(tmp_path, canned):
+    baseline = tmp_path / "base.json"
+    baseline.write_text(json.dumps(make_report({"m.wall_s": 1.0})))
+    canned(make_report({"m.wall_s": 0.2}))
+    assert main(["bench", "--compare", str(baseline)]) == 0
+
+
+def test_unshared_metrics_never_regress(tmp_path, canned):
+    """A --quick run's subset compares clean against a full baseline."""
+    baseline = tmp_path / "base.json"
+    baseline.write_text(
+        json.dumps(make_report({"shared.wall_s": 1.0, "full_only.wall_s": 1.0}))
+    )
+    canned(make_report({"shared.wall_s": 1.0, "quick_only.wall_s": 99.0}))
+    assert main(["bench", "--compare", str(baseline), "--tolerance", "1.5"]) == 0
+
+
+def test_output_writes_valid_report(tmp_path, canned):
+    out = tmp_path / "report.json"
+    canned(make_report({"m.wall_s": 1.0}))
+    assert main(["bench", "-o", str(out)]) == 0
+    assert validate_report(json.loads(out.read_text())) == []
+
+
+def test_no_compare_exits_0(canned):
+    canned(make_report({"m.wall_s": 1.0}))
+    assert main(["bench"]) == 0
+
+
+# -- schema / comparison units ---------------------------------------------
+
+
+def test_write_report_round_trips(tmp_path):
+    report = make_report({"a.wall_s": 0.5, "b.wall_s": 2.0})
+    path = tmp_path / "r.json"
+    write_report(report, path)
+    loaded = json.loads(path.read_text())
+    assert loaded == report
+    assert validate_report(loaded) == []
+
+
+def test_validate_report_catches_defects():
+    assert validate_report([]) != []
+    assert validate_report({}) != []
+    report = make_report({"m.wall_s": 1.0})
+    report["metrics"]["m.wall_s"]["reps"] = 3  # disagrees with 1 sample
+    assert any("disagrees" in p for p in validate_report(report))
+    assert validate_report(make_report({"m.wall_s": 1.0})) == []
+
+
+def test_compare_reports_tolerance_boundary():
+    base = make_report({"m.wall_s": 1.0})
+    # Exactly at tolerance is NOT a regression (strict inequality).
+    at = compare_reports(base, make_report({"m.wall_s": 1.5}), 1.5)
+    assert at.ok and len(at.compared) == 1
+    over = compare_reports(base, make_report({"m.wall_s": 1.5000001}), 1.5)
+    assert not over.ok
+    with pytest.raises(ValueError):
+        compare_reports(base, base, 0.0)
+
+
+# -- determinism of the real harness under an injected clock ---------------
+
+
+def test_collect_report_is_deterministic_under_fake_clock():
+    """Same config + same fake clock => byte-identical reports."""
+    config = BenchConfig(
+        scale=1 / 128,
+        seed=7,
+        reps=1,
+        quick=True,
+        benchmarks=("rodinia/kmeans",),
+        quick_sweep=("rodinia/kmeans",),
+        hit_reps=3,
+    )
+    reports = [
+        collect_report(config, clock=FakeClock(), now=lambda: 1234.5)
+        for _ in range(2)
+    ]
+    first, second = (json.dumps(r, sort_keys=True) for r in reports)
+    assert first == second
+    assert validate_report(reports[0]) == []
+    # Every measured interval under the fake clock is exactly one tick.
+    for record in reports[0]["metrics"].values():
+        assert all(s == 1.0 for s in record["samples"])

@@ -1,0 +1,216 @@
+"""Hypothesis property tests: FastSetAssocCache == SetAssocCache.
+
+Random block ranges, strides, and overlapping segments — plus interleaved
+maintenance operations — must leave the vectorized cache bit-identical to
+the reference on every observable: the downstream stream (contents and
+order), the statistics counters, and the full per-set LRU state including
+dirty bits.  Failures shrink to minimal streams because everything is
+generated from plain Hypothesis strategies.
+
+The offline path is forced by patching ``SERIAL_CUTOFF`` to zero (and the
+scan-budget/serial paths by patching their knobs), so short generated
+streams still exercise the vectorized passes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.fastcache as fastcache
+from repro.config.components import CacheConfig
+from repro.sim.cache import SetAssocCache
+from repro.sim.fastcache import FastSetAssocCache
+from repro.trace.stream import AccessStream
+
+geometries = st.sampled_from(
+    [(1, 1), (1, 4), (2, 2), (3, 2), (4, 4), (8, 2), (8, 16), (24, 4)]
+)
+
+#: One access segment: a strided range walk (stride 0 = one repeated
+#: block), the building block of overlapping/reversed/sparse streams.
+segments = st.tuples(
+    st.integers(min_value=0, max_value=600),  # start block
+    st.integers(min_value=-3, max_value=3),  # stride
+    st.integers(min_value=1, max_value=40),  # count
+    st.booleans(),  # is_write for the whole segment
+)
+
+streams = st.lists(segments, min_size=1, max_size=8)
+
+
+def build_stream(segs) -> AccessStream:
+    blocks = []
+    writes = []
+    for start, stride, count, is_write in segs:
+        seg = start + stride * np.arange(count, dtype=np.int64)
+        np.clip(seg, 0, None, out=seg)
+        blocks.append(seg)
+        writes.append(np.full(count, is_write, dtype=bool))
+    return AccessStream(np.concatenate(blocks), np.concatenate(writes))
+
+
+def make_pair(geometry):
+    num_sets, assoc = geometry
+    config = CacheConfig(
+        capacity_bytes=num_sets * assoc * 128, associativity=assoc, line_bytes=128
+    )
+    return SetAssocCache(config), FastSetAssocCache(config)
+
+
+def reference_state(cache: SetAssocCache):
+    return [[(b, b in cache._dirty) for b in lru] for lru in cache._sets]
+
+
+def fast_state(cache: FastSetAssocCache):
+    return [list(lru.items()) for lru in cache._sets]
+
+
+def assert_equivalent(ref: SetAssocCache, fast: FastSetAssocCache, down_ref, down_fast):
+    assert np.array_equal(down_ref.blocks, down_fast.blocks)
+    assert np.array_equal(down_ref.is_write, down_fast.is_write)
+    assert reference_state(ref) == fast_state(fast)
+    assert vars(ref.stats) == vars(fast.stats)
+
+
+@contextmanager
+def forced(cutoff=None, budget=None, windows=None):
+    """Temporarily re-point the fast path's tuning knobs."""
+    saved = (
+        fastcache.SERIAL_CUTOFF,
+        fastcache._RESIDUE_BUDGET_FACTOR,
+        fastcache._WINDOW_SMALL,
+        fastcache._WINDOW_MEDIUM,
+        fastcache._WINDOW_LARGE,
+    )
+    try:
+        if cutoff is not None:
+            fastcache.SERIAL_CUTOFF = cutoff
+        if budget is not None:
+            fastcache._RESIDUE_BUDGET_FACTOR = budget
+        if windows is not None:
+            small, large = windows
+            fastcache._WINDOW_SMALL = small
+            fastcache._WINDOW_MEDIUM = small
+            fastcache._WINDOW_LARGE = large
+        yield
+    finally:
+        (
+            fastcache.SERIAL_CUTOFF,
+            fastcache._RESIDUE_BUDGET_FACTOR,
+            fastcache._WINDOW_SMALL,
+            fastcache._WINDOW_MEDIUM,
+            fastcache._WINDOW_LARGE,
+        ) = saved
+
+
+@given(segs=streams, geometry=geometries)
+@settings(max_examples=120, deadline=None)
+def test_offline_path_matches_reference(segs, geometry):
+    """Vectorized whole-stream accounting == per-block reference loop."""
+    ref, fast = make_pair(geometry)
+    stream = build_stream(segs)
+    with forced(cutoff=0):
+        assert_equivalent(
+            ref, fast, ref.access_stream(stream), fast.access_stream(stream)
+        )
+
+
+@given(segs=streams, geometry=geometries)
+@settings(max_examples=60, deadline=None)
+def test_narrow_windows_and_residue_scan_match(segs, geometry):
+    """Tiny scan windows force the chunked backward residue loop."""
+    ref, fast = make_pair(geometry)
+    stream = build_stream(segs)
+    with forced(cutoff=0, windows=(2, 3)):
+        assert_equivalent(
+            ref, fast, ref.access_stream(stream), fast.access_stream(stream)
+        )
+
+
+@given(segs=streams, geometry=geometries)
+@settings(max_examples=60, deadline=None)
+def test_budget_blowout_serial_fallback_matches(segs, geometry):
+    """An exhausted scan budget must fall back with no state corruption."""
+    ref, fast = make_pair(geometry)
+    stream = build_stream(segs)
+    with forced(cutoff=0, budget=-(10**9), windows=(1, 2)):
+        assert_equivalent(
+            ref, fast, ref.access_stream(stream), fast.access_stream(stream)
+        )
+
+
+@given(segs=st.lists(segments, min_size=2, max_size=6), geometry=geometries)
+@settings(max_examples=60, deadline=None)
+def test_multi_call_state_carries_over(segs, geometry):
+    """Residency carried between calls stays identical call after call."""
+    ref, fast = make_pair(geometry)
+    with forced(cutoff=0):
+        for seg in segs:
+            stream = build_stream([seg])
+            assert_equivalent(
+                ref, fast, ref.access_stream(stream), fast.access_stream(stream)
+            )
+
+
+@given(
+    segs=st.lists(segments, min_size=1, max_size=4),
+    geometry=geometries,
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["drain", "flush", "invalidate", "extract"]),
+            st.lists(
+                st.integers(min_value=0, max_value=600), min_size=1, max_size=30
+            ),
+        ),
+        max_size=3,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_maintenance_ops_interleaved(segs, geometry, ops):
+    """drain/flush/invalidate/extract agree mid-stream with the reference."""
+    ref, fast = make_pair(geometry)
+    with forced(cutoff=0):
+        for seg in segs:
+            stream = build_stream([seg])
+            assert_equivalent(
+                ref, fast, ref.access_stream(stream), fast.access_stream(stream)
+            )
+            for op, arg in ops:
+                if op == "drain":
+                    assert ref.drain() == fast.drain()
+                elif op == "flush":
+                    assert ref.flush(arg) == fast.flush(arg)
+                elif op == "invalidate":
+                    assert ref.invalidate(arg) == fast.invalidate(arg)
+                else:
+                    for block in arg[:5]:
+                        assert ref.extract(block) == fast.extract(block)
+                assert reference_state(ref) == fast_state(fast)
+
+
+@given(segs=streams, geometry=geometries)
+@settings(max_examples=60, deadline=None)
+def test_serial_short_stream_path_matches(segs, geometry):
+    """Below SERIAL_CUTOFF the tuned OrderedDict loop must agree too."""
+    ref, fast = make_pair(geometry)
+    stream = build_stream(segs)
+    assert fastcache.SERIAL_CUTOFF > 0  # default path selection
+    assert_equivalent(
+        ref, fast, ref.access_stream(stream), fast.access_stream(stream)
+    )
+
+
+def test_wide_block_ids_use_int64_path():
+    """Block ids above 2**31 still process correctly (no int32 narrowing)."""
+    ref, fast = make_pair((4, 2))
+    blocks = np.array([1 << 33, (1 << 33) + 4, 1 << 33, 7, 11, 7], dtype=np.int64)
+    writes = np.array([True, False, False, True, False, False], dtype=bool)
+    stream = AccessStream(blocks, writes)
+    with forced(cutoff=0):
+        assert_equivalent(
+            ref, fast, ref.access_stream(stream), fast.access_stream(stream)
+        )

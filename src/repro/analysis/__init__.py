@@ -21,7 +21,14 @@ from repro.analysis.linter import (
     assert_lint_clean,
     lint_benchmark,
     lint_pipeline,
+    lint_pipeline_memoized,
     lint_registry,
+)
+from repro.analysis.memo import (
+    LintMemo,
+    default_memo,
+    pipeline_content_hash,
+    reset_default_memo,
 )
 from repro.analysis.report import (
     LINT_SCHEMA,
@@ -37,16 +44,21 @@ __all__ = [
     "HappensBefore",
     "LINT_SCHEMA",
     "LintError",
+    "LintMemo",
     "LintReport",
     "RULES",
     "Rule",
     "Severity",
     "assert_lint_clean",
+    "default_memo",
     "derive_flags",
     "lint_benchmark",
     "lint_pipeline",
+    "lint_pipeline_memoized",
     "lint_registry",
+    "pipeline_content_hash",
     "render_json",
     "render_text",
     "report_to_dict",
+    "reset_default_memo",
 ]

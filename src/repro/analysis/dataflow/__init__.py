@@ -1,0 +1,68 @@
+"""Region-based abstract interpretation over pipeline stage graphs.
+
+``repro.analysis.dataflow`` is the static-analysis core behind the RPL3xx
+optimization-opportunity rules, the ``repro lint --fix`` autofix engine,
+and the simulation-free static advisor (``repro advise --static``).  It
+abstracts every buffer as a set of fractional intervals (a region lattice
+with chunk-lane widening), runs a reaching-definitions abstract
+interpreter over the stage DAG, and derives from the fixpoint:
+
+* which written regions are *dead* (overwritten or never read),
+* copy-chain provenance (which chain of copies produced a region),
+* which ``depends_on`` edges are pure serialization (no dataflow, no
+  hazard protection) and therefore block copy/compute overlap,
+* per-stage byte footprints and flop/byte ratios.
+
+See docs/LINTING.md for the abstract-interpretation model and its
+soundness caveats.
+"""
+
+from repro.analysis.dataflow.absint import (
+    DataflowAnalysis,
+    RegionWrite,
+    SerializationEdge,
+    StageFootprint,
+)
+from repro.analysis.dataflow.advisor import (
+    StaticAdvice,
+    Verdict,
+    dynamic_verdict,
+    render_static_table,
+    static_advice,
+    static_verdict,
+)
+from repro.analysis.dataflow.fixes import (
+    Fix,
+    FixResult,
+    apply_fixes,
+    plan_fixes,
+)
+from repro.analysis.dataflow.lattice import (
+    EMPTY_SET,
+    FULL_SET,
+    IntervalSet,
+    WIDEN_LIMIT,
+)
+from repro.analysis.dataflow.rules import check_dataflow_family
+
+__all__ = [
+    "DataflowAnalysis",
+    "EMPTY_SET",
+    "FULL_SET",
+    "Fix",
+    "FixResult",
+    "IntervalSet",
+    "RegionWrite",
+    "SerializationEdge",
+    "StageFootprint",
+    "StaticAdvice",
+    "Verdict",
+    "WIDEN_LIMIT",
+    "apply_fixes",
+    "check_dataflow_family",
+    "dynamic_verdict",
+    "plan_fixes",
+    "render_static_table",
+    "static_advice",
+    "static_verdict",
+]

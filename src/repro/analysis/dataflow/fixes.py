@@ -1,0 +1,277 @@
+"""The ``repro lint --fix`` autofix engine.
+
+Only *safe* fixes are applied: transforms that cannot change what any
+surviving stage computes or observes.  Today that is
+
+* **drop-copy** (RPL301): delete a copy whose written bytes nothing
+  observes, splicing its dependents onto its dependencies;
+* **fuse-copies** (RPL302): collapse a staging chain ``A -> B -> C`` into
+  a single copy ``A -> C`` when the intermediate is observed by nothing
+  but the second copy.
+
+Fixes are applied one at a time to a fixpoint, re-planning after each
+application (dropping one copy can make another fusible and vice versa).
+After every application the engine re-lints the candidate pipeline and
+**reverts** the fix if any new WARNING-or-worse finding appeared that the
+original pipeline did not have — a differential guard that keeps ``--fix``
+conservative even on pipelines the planner mis-models.  The engine is
+therefore idempotent by construction: once no fix survives the guard, a
+second run plans the same rejected fixes and rejects them again.
+
+Opportunity findings (RPL303-305) are *not* auto-fixed: exploiting them
+(chunking, migration, coordination) changes simulated timing, which
+``--fix`` must never do.  Their hints name the manual transform instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.dataflow.absint import DataflowAnalysis
+from repro.analysis.dataflow.rules import (
+    check_dead_copies,
+    check_fusible_copies,
+)
+from repro.analysis.diagnostics import Severity
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.stage import Stage
+from repro.workloads.spec import BenchmarkSpec
+
+#: Fixpoint iteration cap; each iteration applies at most one fix, and a
+#: pipeline cannot yield more fixes than it has copy stages, so this only
+#: guards against planner bugs.
+MAX_FIX_ROUNDS = 256
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One planned autofix."""
+
+    rule: str
+    kind: str  # "drop-copy" | "fuse-copies"
+    stages: Tuple[str, ...]
+    description: str
+
+    @property
+    def sort_key(self) -> Tuple[str, Tuple[str, ...]]:
+        return (self.rule, self.stages)
+
+
+@dataclass(frozen=True)
+class FixResult:
+    """Outcome of :func:`apply_fixes`."""
+
+    pipeline: Pipeline
+    applied: Tuple[Fix, ...]
+    skipped: Tuple[Fix, ...]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+def plan_fixes(pipeline: Pipeline) -> List[Fix]:
+    """Plan safe fixes for the pipeline's fixable findings.
+
+    Deterministic: findings are planned in diagnostic sort order.  The
+    plan reflects the *current* pipeline only — applying one fix can
+    create or invalidate others, which is why :func:`apply_fixes`
+    re-plans after every application instead of batching.
+    """
+    analysis = DataflowAnalysis(pipeline)
+    fixes: List[Fix] = []
+    planned: Set[str] = set()  # stages already consumed by a planned fix
+    findings = sorted(
+        check_dead_copies(pipeline, analysis)
+        + check_fusible_copies(pipeline, analysis),
+        key=lambda d: d.sort_key,
+    )
+    for finding in findings:
+        if finding.rule == "RPL301" and finding.stage is not None:
+            if finding.stage in planned:
+                continue
+            planned.add(finding.stage)
+            fixes.append(
+                Fix(
+                    rule="RPL301",
+                    kind="drop-copy",
+                    stages=(finding.stage,),
+                    description=f"drop dead copy {finding.stage!r}",
+                )
+            )
+        elif finding.rule == "RPL302":
+            first, second = finding.provenance
+            if first in planned or second in planned:
+                continue
+            planned.update((first, second))
+            fixes.append(
+                Fix(
+                    rule="RPL302",
+                    kind="fuse-copies",
+                    stages=(first, second),
+                    description=(
+                        f"fuse copies {first!r} and {second!r} through "
+                        f"buffer {finding.buffer!r}"
+                    ),
+                )
+            )
+    return fixes
+
+
+def apply_fixes(
+    pipeline: Pipeline,
+    spec: Optional[BenchmarkSpec] = None,
+) -> FixResult:
+    """Apply safe fixes to a fixpoint, with a differential lint guard.
+
+    Returns the fixed pipeline plus the fixes applied and the fixes
+    planned but rejected by the guard.  Running ``apply_fixes`` on the
+    returned pipeline is a no-op.
+    """
+    current = pipeline
+    baseline = _warning_keys(current, spec)
+    applied: List[Fix] = []
+    rejected: List[Fix] = []
+    rejected_keys: Set[Tuple[str, Tuple[str, ...]]] = set()
+    for _round in range(MAX_FIX_ROUNDS):
+        plan = [
+            f for f in plan_fixes(current) if f.sort_key not in rejected_keys
+        ]
+        if not plan:
+            break
+        fix = plan[0]
+        candidate = _apply_one(current, fix)
+        if candidate is None or _warning_keys(candidate, spec) - baseline:
+            rejected.append(fix)
+            rejected_keys.add(fix.sort_key)
+            continue
+        applied.append(fix)
+        current = candidate
+    return FixResult(
+        pipeline=current, applied=tuple(applied), skipped=tuple(rejected)
+    )
+
+
+def _warning_keys(
+    pipeline: Pipeline, spec: Optional[BenchmarkSpec]
+) -> Set[Tuple[str, str, str]]:
+    """Anchors of WARNING-or-worse findings, for the differential guard."""
+    from repro.analysis.linter import lint_pipeline  # deferred: cycle
+
+    report = lint_pipeline(pipeline, spec)
+    return {
+        (d.rule, d.stage or "", d.buffer or "")
+        for d in report.at_least(Severity.WARNING)
+    }
+
+
+def _apply_one(pipeline: Pipeline, fix: Fix) -> Optional[Pipeline]:
+    """Apply a single fix; None when the pipeline no longer matches it."""
+    try:
+        if fix.kind == "drop-copy":
+            return _drop_stage(pipeline, fix.stages[0])
+        if fix.kind == "fuse-copies":
+            return _fuse_copies(pipeline, fix.stages[0], fix.stages[1])
+    except (KeyError, ValueError):
+        return None
+    raise ValueError(f"unknown fix kind {fix.kind!r}")
+
+
+def _splice_deps(
+    stage: Stage, removed: str, replacement: Tuple[str, ...]
+) -> Stage:
+    """Replace a dependence on ``removed`` with its own dependencies."""
+    if removed not in stage.depends_on:
+        return stage
+    deps = [d for d in stage.depends_on if d != removed]
+    deps.extend(d for d in replacement if d not in deps and d != stage.name)
+    return replace(stage, depends_on=tuple(deps))
+
+
+def _drop_stage(pipeline: Pipeline, name: str) -> Pipeline:
+    by_name = {s.name: s for s in pipeline.stages}
+    dropped = by_name[name]
+    stages = tuple(
+        _splice_deps(s, name, dropped.depends_on)
+        for s in pipeline.stages
+        if s.name != name
+    )
+    return _prune_buffers(pipeline.with_stages(stages))
+
+
+def _fuse_copies(pipeline: Pipeline, first: str, second: str) -> Pipeline:
+    by_name = {s.name: s for s in pipeline.stages}
+    head, tail = by_name[first], by_name[second]
+    if head.dst is None or head.src is None or tail.src != head.dst:
+        raise ValueError("stages are not a copy chain")
+    intermediate = head.dst
+    reads = tuple(
+        replace(a, buffer=head.src) if a.buffer == intermediate else a
+        for a in tail.reads
+    )
+    src_buf = pipeline.buffers[head.src]
+    dst_buf = pipeline.buffers[tail.dst] if tail.dst else None
+    mirror = dst_buf is not None and (
+        src_buf.mirror_of == dst_buf.name or dst_buf.mirror_of == src_buf.name
+    )
+    fused = replace(
+        _splice_deps(tail, first, head.depends_on),
+        src=head.src,
+        reads=reads,
+        mirror_copy=mirror,
+    )
+    stages = tuple(
+        fused
+        if s.name == second
+        else _splice_deps(s, first, head.depends_on)
+        for s in pipeline.stages
+        if s.name != first
+    )
+    return _prune_buffers(pipeline.with_stages(stages))
+
+
+def _prune_buffers(pipeline: Pipeline) -> Pipeline:
+    """Drop allocations no surviving stage touches (RPL104 hygiene).
+
+    Buffers that kept allocations mirror are retained so referential
+    integrity holds even when the base allocation itself went quiet.
+    """
+    touched: Set[str] = set()
+    for stage in pipeline.stages:
+        touched.update(stage.buffers)
+        touched.update(n for n in (stage.src, stage.dst) if n)
+    keep = set(touched)
+    for name, buffer in pipeline.buffers.items():
+        if name in touched and buffer.mirror_of:
+            keep.add(buffer.mirror_of)
+    if keep >= set(pipeline.buffers):
+        return pipeline
+    kept = {n: b for n, b in pipeline.buffers.items() if n in keep}
+    return pipeline.with_stages(pipeline.stages, buffers=kept)
+
+
+def fix_summary(result: FixResult) -> str:
+    """One-line human summary for the CLI."""
+    if not result.applied and not result.skipped:
+        return "no fixable findings"
+    parts = [f"applied {len(result.applied)} fix(es)"]
+    for fix in result.applied:
+        parts.append(f"  {fix.rule}: {fix.description}")
+    if result.skipped:
+        parts.append(
+            f"skipped {len(result.skipped)} fix(es) rejected by the "
+            f"differential lint guard"
+        )
+        for fix in result.skipped:
+            parts.append(f"  {fix.rule}: {fix.description}")
+    return "\n".join(parts)
+
+
+__all__ = [
+    "Fix",
+    "FixResult",
+    "apply_fixes",
+    "fix_summary",
+    "plan_fixes",
+]

@@ -1,0 +1,262 @@
+"""The RPL3xx rule family: dataflow defects and optimization opportunities.
+
+Two kinds of findings come out of the abstract interpreter:
+
+* **Defects** (WARNING, fixable, on by default): RPL301 dead copies and
+  RPL302 fusible copy chains.  These never fire on healthy pipelines —
+  the 46x2 registry is clean of them — and ``repro lint --fix`` repairs
+  them mechanically.
+* **Opportunities** (INFO, opt-in via ``opportunities=True``): RPL303
+  overlap-blocking serialization edges, RPL304 migration candidates, and
+  RPL305 cache-coordination conflicts.  These deliberately fire on
+  perfectly correct bulk-synchronous pipelines — they report the paper's
+  optimization headroom (Sections V-A/V-B/V-C), not bugs, so they stay
+  out of default lint runs and CI gates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+from repro.analysis.dataflow.absint import DataflowAnalysis
+from repro.config.system import SystemConfig, heterogeneous_processor
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.stage import StageKind
+from repro.workloads.spec import BenchmarkSpec
+
+#: Arithmetic-intensity ridge (flop/byte) below which a CPU stage is
+#: memory-bound on either engine and migrating it to the GPU-side of the
+#: chip trades nothing away (paper Section V-B: migration pays when the
+#: stage is communication- rather than compute-dominated).
+MIGRATION_RIDGE_FLOP_PER_BYTE = 4.0
+
+#: Minimum FLOP count before RPL304 considers a stage at all — tiny
+#: convergence checks are not worth migrating regardless of intensity.
+MIGRATION_MIN_FLOPS = 1.0
+
+
+def _coordination_capacity_bytes(system: SystemConfig) -> int:
+    """On-chip capacity a producer-consumer working set must fit into for
+    cache-to-cache communication to work (CPU L2s + GPU L2)."""
+    return system.cpu.total_l2_bytes + system.gpu.l2.capacity_bytes
+
+
+def check_dead_copies(
+    pipeline: Pipeline, analysis: DataflowAnalysis
+) -> List[Diagnostic]:
+    """RPL301: copies whose entire written region no one can observe.
+
+    Region-aware superset of RPL105's reachability check: a copy is also
+    dead when its destination *is* read later but every read sees bytes
+    definitely overwritten by an intervening write.
+    """
+    findings: List[Diagnostic] = []
+    for stage in pipeline.copy_stages:
+        for access in stage.writes:
+            if not analysis.observers_of_write(stage.name, access):
+                chain = analysis.copy_chain(stage.name)
+                findings.append(
+                    make_diagnostic(
+                        "RPL301",
+                        pipeline.name,
+                        f"copy {stage.name!r} writes buffer "
+                        f"{access.buffer!r} but no later read or declared "
+                        f"output observes any of the written bytes",
+                        stage=stage.name,
+                        buffer=access.buffer,
+                        hint="drop the copy (repro lint --fix does this); "
+                        "its bytes are overwritten or never read",
+                        provenance=chain,
+                    )
+                )
+    return findings
+
+
+def check_fusible_copies(
+    pipeline: Pipeline, analysis: DataflowAnalysis
+) -> List[Diagnostic]:
+    """RPL302: copy pairs ``A -> B -> C`` where ``B`` exists only to stage
+    the transfer — the first copy's bytes are observed by exactly one
+    stage, which is itself a copy reading them back out."""
+    findings: List[Diagnostic] = []
+    by_name = {s.name: s for s in pipeline.stages}
+    for first in pipeline.copy_stages:
+        if first.dst is None:
+            continue
+        observed: set[str] = set()
+        for access in first.writes:
+            for observer, _part in analysis.observers_of_write(
+                first.name, access
+            ):
+                observed.add(observer)
+        if len(observed) != 1:
+            continue
+        (observer_name,) = observed
+        second = by_name.get(observer_name)
+        if (
+            second is None
+            or second.kind is not StageKind.COPY
+            or second.src != first.dst
+        ):
+            continue
+        # Every byte the second copy forwards must come from the first
+        # copy alone, or fusing would smuggle other writers' bytes.
+        read_region = analysis.read_set(second, first.dst)
+        if analysis.sole_writer(second.name, first.dst, read_region) != first.name:
+            continue
+        findings.append(
+            make_diagnostic(
+                "RPL302",
+                pipeline.name,
+                f"copies {first.name!r} and {second.name!r} stage buffer "
+                f"{first.dst!r} only to forward it: nothing else observes "
+                f"the intermediate",
+                stage=first.name,
+                buffer=first.dst,
+                hint="fuse into one copy from the first source to the "
+                "final destination (repro lint --fix does this)",
+                provenance=(first.name, second.name),
+            )
+        )
+    return findings
+
+
+def check_serialization_edges(
+    pipeline: Pipeline, analysis: DataflowAnalysis
+) -> List[Diagnostic]:
+    """RPL303: dependence edges that serialize data-independent stages of
+    different kinds, blocking copy/compute (or CPU/GPU) overlap."""
+    findings: List[Diagnostic] = []
+    for edge in analysis.serialization_edges():
+        if not edge.crosses_components:
+            continue
+        if edge.removal_safe:
+            detail = "the edge can simply be dropped"
+        else:
+            detail = (
+                "downstream stages rely on its transitivity, so "
+                "exploiting the overlap needs chunked re-wiring"
+            )
+        kinds = "/".join(sorted(k.value for k in edge.kinds))
+        findings.append(
+            make_diagnostic(
+                "RPL303",
+                pipeline.name,
+                f"edge {edge.src!r} -> {edge.dst!r} serializes "
+                f"data-independent {kinds} stages "
+                f"({len(edge.freed_pairs)} pair(s) could overlap); {detail}",
+                stage=edge.dst,
+                hint="overlap the engines: chunk both stages and depend "
+                "per-chunk (fission_async_streams / chunk_stages), or "
+                "drop the edge if removal is safe",
+                provenance=(edge.src, edge.dst),
+            )
+        )
+    return findings
+
+
+def check_migration_candidates(
+    pipeline: Pipeline, analysis: DataflowAnalysis
+) -> List[Diagnostic]:
+    """RPL304: CPU stages whose arithmetic intensity is below the ridge —
+    they are bound by the bytes they touch, so running them near the data
+    (computation migration, Section V-B) beats shipping the data."""
+    findings: List[Diagnostic] = []
+    for stage in pipeline.stages:
+        if stage.kind is not StageKind.CPU:
+            continue
+        if stage.flops < MIGRATION_MIN_FLOPS:
+            continue
+        footprint = analysis.footprint(stage)
+        intensity = footprint.flop_per_byte
+        if intensity >= MIGRATION_RIDGE_FLOP_PER_BYTE:
+            continue
+        findings.append(
+            make_diagnostic(
+                "RPL304",
+                pipeline.name,
+                f"CPU stage {stage.name!r} performs "
+                f"{intensity:.2f} flop/byte over "
+                f"{footprint.total_bytes:.0f} touched bytes — "
+                f"memory-bound, a computation-migration candidate",
+                stage=stage.name,
+                hint="migrate the stage next to the data it consumes "
+                "(migrate_compute) instead of copying the data to it",
+                provenance=(stage.name,),
+            )
+        )
+    return findings
+
+
+def check_cache_coordination(
+    pipeline: Pipeline,
+    analysis: DataflowAnalysis,
+    system: Optional[SystemConfig] = None,
+) -> List[Diagnostic]:
+    """RPL305: CPU<->GPU producer-consumer working sets too large for the
+    on-chip caches to carry, so cache-to-cache communication degenerates
+    to DRAM round-trips without explicit coordination (Section V-C)."""
+    config = system if system is not None else heterogeneous_processor()
+    capacity = _coordination_capacity_bytes(config)
+    findings: List[Diagnostic] = []
+    seen: set[tuple[str, str, str]] = set()
+    for producer_name, consumer_name, buffer in (
+        pipeline.producer_consumer_edges()
+    ):
+        producer = pipeline.stage(producer_name)
+        consumer = pipeline.stage(consumer_name)
+        kinds = {producer.kind, consumer.kind}
+        if kinds != {StageKind.CPU, StageKind.GPU_KERNEL}:
+            continue
+        communicated = analysis.communicated_bytes(producer, consumer, buffer)
+        if communicated <= capacity:
+            continue
+        key = (producer.logical_name, consumer.logical_name, buffer)
+        if key in seen:
+            continue  # one finding per logical edge, not per chunk lane
+        seen.add(key)
+        findings.append(
+            make_diagnostic(
+                "RPL305",
+                pipeline.name,
+                f"{producer.name!r} hands {communicated:.0f} B of "
+                f"{buffer!r} to {consumer.name!r} but the on-chip caches "
+                f"hold {capacity} B — the working sets conflict and the "
+                f"hand-off spills to DRAM",
+                stage=consumer.name,
+                buffer=buffer,
+                hint="chunk the producer-consumer pair so each hand-off "
+                "fits in cache (parallel_producer_consumer), or shrink "
+                "the communicated region",
+                provenance=(producer.name, consumer.name),
+            )
+        )
+    return findings
+
+
+def check_dataflow_family(
+    pipeline: Pipeline,
+    spec: Optional[BenchmarkSpec] = None,
+    *,
+    opportunities: bool = False,
+    system: Optional[SystemConfig] = None,
+) -> List[Diagnostic]:
+    """All RPL3xx rules over one pipeline.
+
+    The defect rules (RPL301/302) always run; the opportunity rules
+    (RPL303-305) only when ``opportunities`` is set — they report
+    optimization headroom and fire on healthy pipelines by design.
+    ``spec`` is accepted for signature symmetry with the other families
+    (the dataflow rules are purely structural today).
+    """
+    del spec  # purely structural rules; kept for family-signature symmetry
+    analysis = DataflowAnalysis(pipeline)
+    findings: List[Diagnostic] = []
+    findings.extend(check_dead_copies(pipeline, analysis))
+    findings.extend(check_fusible_copies(pipeline, analysis))
+    if opportunities:
+        findings.extend(check_serialization_edges(pipeline, analysis))
+        findings.extend(check_migration_candidates(pipeline, analysis))
+        findings.extend(check_cache_coordination(pipeline, analysis, system))
+    return findings

@@ -10,7 +10,15 @@ The numbering encodes the rule family:
 
 * ``RPL0xx`` — hazard/race detection over the stage DAG,
 * ``RPL1xx`` — memory-space and copy consistency,
-* ``RPL2xx`` — Table II spec-consistency (declared vs. derived flags).
+* ``RPL2xx`` — Table II spec-consistency (declared vs. derived flags),
+* ``RPL3xx`` — dataflow findings from the region-based abstract
+  interpreter (:mod:`repro.analysis.dataflow`): dead/fusible copy chains
+  (defects, fixable by ``repro lint --fix``) and optimization
+  *opportunities* (overlap-blocking serialization, migration candidates,
+  cache-coordination conflicts) that only report when the linter runs
+  with ``opportunities=True`` — they describe the paper's optimization
+  headroom, not defects, and fire on perfectly healthy bulk-synchronous
+  pipelines by design.
 """
 
 from __future__ import annotations
@@ -56,15 +64,38 @@ _SEVERITY_RANK: Dict[Severity, int] = {
 
 @dataclass(frozen=True)
 class Rule:
-    """One diagnostic the linter can raise."""
+    """One diagnostic the linter can raise.
+
+    Attributes:
+        fixable: whether ``repro lint --fix`` has a safe autofix for it.
+        opportunity: whether the rule reports optimization headroom rather
+            than a defect; opportunity rules are opt-in
+            (``lint_pipeline(..., opportunities=True)``) so healthy
+            pipelines stay warning-free by default.
+    """
 
     id: str
     severity: Severity
     summary: str
+    fixable: bool = False
+    opportunity: bool = False
 
     def __post_init__(self) -> None:
         if not self.id.startswith("RPL"):
             raise ValueError(f"rule id {self.id!r} must start with 'RPL'")
+
+    @property
+    def category(self) -> str:
+        """The rule family, derived from the stable numbering."""
+        return _CATEGORIES.get(self.id[3], "unknown")
+
+
+_CATEGORIES: Dict[str, str] = {
+    "0": "hazard",
+    "1": "memspace",
+    "2": "spec",
+    "3": "dataflow",
+}
 
 
 #: The rule catalogue.  See docs/LINTING.md for the full write-up of each
@@ -101,6 +132,26 @@ RULES: Dict[str, Rule] = {
              "declared regular_pc flag contradicts pipeline structure"),
         Rule("RPL204", Severity.WARNING,
              "declared sw_queue flag contradicts pipeline structure"),
+        # -- family 3: dataflow (region-based abstract interpretation) --------
+        Rule("RPL301", Severity.WARNING,
+             "copy writes a region no later stage or output can observe",
+             fixable=True),
+        Rule("RPL302", Severity.WARNING,
+             "adjacent copies are fusible (intermediate observed only by "
+             "the second copy)",
+             fixable=True),
+        Rule("RPL303", Severity.INFO,
+             "serialization edge orders independent stages and blocks "
+             "copy/compute overlap",
+             opportunity=True),
+        Rule("RPL304", Severity.INFO,
+             "CPU stage has low arithmetic intensity; computation "
+             "migration candidate",
+             opportunity=True),
+        Rule("RPL305", Severity.INFO,
+             "producer-consumer working set exceeds on-chip cache "
+             "capacity; cache coordination conflict",
+             opportunity=True),
     )
 }
 
@@ -117,6 +168,9 @@ class Diagnostic:
         stage: offending stage name, when the finding anchors to a stage.
         buffer: offending buffer name, when it anchors to a buffer.
         hint: how to fix it, when the linter can tell.
+        provenance: supporting stage chain (e.g. the copy chain that makes
+            a copy dead, or the stages a redundant edge serializes), in
+            pipeline order.
     """
 
     rule: str
@@ -126,10 +180,32 @@ class Diagnostic:
     stage: Optional[str] = None
     buffer: Optional[str] = None
     hint: Optional[str] = None
+    provenance: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.rule not in RULES:
             raise ValueError(f"unknown rule id {self.rule!r}")
+
+    @property
+    def fixable(self) -> bool:
+        """Whether ``repro lint --fix`` has a safe autofix for this finding."""
+        return RULES[self.rule].fixable
+
+    @property
+    def sort_key(self) -> Tuple[str, str, str, str, str]:
+        """Deterministic total order over findings.
+
+        Anchors first (pipeline, rule, stage, buffer) then the message as
+        a tiebreaker, so reports serialize byte-identically regardless of
+        the order individual checks emitted their findings.
+        """
+        return (
+            self.pipeline,
+            self.rule,
+            self.stage or "",
+            self.buffer or "",
+            self.message,
+        )
 
     @property
     def location(self) -> str:
@@ -158,6 +234,7 @@ def make_diagnostic(
     buffer: Optional[str] = None,
     hint: Optional[str] = None,
     severity: Optional[Severity] = None,
+    provenance: Tuple[str, ...] = (),
 ) -> Diagnostic:
     """Build a :class:`Diagnostic`, defaulting severity from the catalogue."""
     rule = RULES[rule_id]
@@ -169,6 +246,7 @@ def make_diagnostic(
         stage=stage,
         buffer=buffer,
         hint=hint,
+        provenance=provenance,
     )
 
 
@@ -196,6 +274,14 @@ class LintReport:
 
     def __len__(self) -> int:
         return len(self.diagnostics)
+
+    def sorted(self) -> Tuple[Diagnostic, ...]:
+        """Findings in the deterministic :attr:`Diagnostic.sort_key` order.
+
+        Reporters serialize this order so output is byte-stable across
+        runs and independent of check execution order.
+        """
+        return tuple(sorted(self.diagnostics, key=lambda d: d.sort_key))
 
     def at_least(self, threshold: Severity) -> Tuple[Diagnostic, ...]:
         return tuple(

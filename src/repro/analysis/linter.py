@@ -21,8 +21,10 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from repro.analysis.dataflow.rules import check_dataflow_family
 from repro.analysis.diagnostics import LintReport, Severity
 from repro.analysis.hazards import check_hazards
+from repro.analysis.memo import LintMemo, default_memo
 from repro.analysis.memspace import check_memspace_family
 from repro.analysis.spec_rules import check_spec_consistency
 from repro.pipeline.graph import Pipeline
@@ -46,32 +48,66 @@ class LintError(ValueError):
 
 
 def lint_pipeline(
-    pipeline: Pipeline, spec: Optional[BenchmarkSpec] = None
+    pipeline: Pipeline,
+    spec: Optional[BenchmarkSpec] = None,
+    *,
+    opportunities: bool = False,
 ) -> LintReport:
     """Run every applicable rule over one pipeline.
 
-    The hazard and memory-space families always run; the Table II family
-    runs only when a ``spec`` is supplied and the pipeline is the copy form
-    (the form Table II characterizes).
+    The hazard, memory-space, and dataflow-defect families always run;
+    the Table II family runs only when a ``spec`` is supplied and the
+    pipeline is the copy form (the form Table II characterizes).
+    ``opportunities`` additionally enables the RPL303-305 opportunity
+    rules, which report optimization headroom rather than defects and
+    fire on healthy bulk-synchronous pipelines by design.
     """
     report = LintReport(pipelines=[pipeline.name])
     report.extend(check_hazards(pipeline))
     report.extend(check_memspace_family(pipeline, spec))
     if spec is not None:
         report.extend(check_spec_consistency(pipeline, spec))
+    report.extend(
+        check_dataflow_family(pipeline, spec, opportunities=opportunities)
+    )
     return report
 
 
-def lint_benchmark(spec: BenchmarkSpec) -> LintReport:
+def lint_pipeline_memoized(
+    pipeline: Pipeline,
+    spec: Optional[BenchmarkSpec] = None,
+    *,
+    opportunities: bool = False,
+    memo: Optional[LintMemo] = None,
+) -> LintReport:
+    """Memoized :func:`lint_pipeline` keyed by pipeline content hash.
+
+    Identical (pipeline, spec, opportunities) triples are analysed once
+    per process; see :mod:`repro.analysis.memo`.  The default memo is
+    shared with SweepRunner preflight and the static advisor.
+    """
+    active = memo if memo is not None else default_memo()
+    return active.get_or_compute(
+        pipeline,
+        spec,
+        opportunities,
+        lambda: lint_pipeline(pipeline, spec, opportunities=opportunities),
+    )
+
+
+def lint_benchmark(
+    spec: BenchmarkSpec, *, opportunities: bool = False
+) -> LintReport:
     """Lint a benchmark's copy and limited-copy forms plus its spec flags."""
     pipeline = spec.pipeline()
-    report = lint_pipeline(pipeline, spec)
+    report = lint_pipeline(pipeline, spec, opportunities=opportunities)
     limited = remove_copies(pipeline)
     limited_report = lint_pipeline(
         limited.with_stages(
             limited.stages, name=f"{pipeline.name} [limited-copy]"
         ),
         spec,
+        opportunities=opportunities,
     )
     report.merge(limited_report)
     return report
@@ -79,6 +115,8 @@ def lint_benchmark(spec: BenchmarkSpec) -> LintReport:
 
 def lint_registry(
     specs: Optional[Iterable[BenchmarkSpec]] = None,
+    *,
+    opportunities: bool = False,
 ) -> LintReport:
     """Lint every simulatable benchmark (or an explicit subset)."""
     chosen: List[BenchmarkSpec] = (
@@ -88,7 +126,7 @@ def lint_registry(
     for spec in chosen:
         if not spec.simulatable:
             continue
-        report.merge(lint_benchmark(spec))
+        report.merge(lint_benchmark(spec, opportunities=opportunities))
     return report
 
 
@@ -97,10 +135,20 @@ def assert_lint_clean(
     spec: Optional[BenchmarkSpec] = None,
     *,
     threshold: Severity = Severity.ERROR,
+    memoize: bool = False,
 ) -> LintReport:
     """Lint a pipeline and raise :class:`LintError` on findings at or above
-    ``threshold``.  Returns the (clean-enough) report otherwise."""
-    report = lint_pipeline(pipeline, spec)
+    ``threshold``.  Returns the (clean-enough) report otherwise.
+
+    ``memoize`` routes the lint through the process-wide content-hash
+    memo — the sweep preflight sets it so the 46x2 sweep (and repeated
+    ``pair()`` calls) lint each distinct pipeline once.
+    """
+    report = (
+        lint_pipeline_memoized(pipeline, spec)
+        if memoize
+        else lint_pipeline(pipeline, spec)
+    )
     if not report.clean(threshold):
         raise LintError(report, threshold)
     return report

@@ -1,7 +1,13 @@
 """Reporters for lint findings: human-readable text and machine JSON.
 
-The JSON document is schema-stable (``repro.lint/v1``): CI consumes it, so
+The JSON document is schema-stable (``repro.lint/v2``): CI consumes it, so
 field names and the meaning of ``clean`` only change with a version bump.
+v2 is a strict superset of v1 — every v1 field keeps its name and meaning,
+and each finding additionally carries ``fixable`` (whether ``repro lint
+--fix`` can repair it) and ``provenance`` (the copy chain or stage pair
+the dataflow engine derived the finding from).  Findings are emitted in
+the deterministic :meth:`LintReport.sorted` order, so the document is
+byte-stable for a given pipeline regardless of rule execution order.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from typing import Any, Dict, List
 
 from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
 
-LINT_SCHEMA = "repro.lint/v1"
+LINT_SCHEMA = "repro.lint/v2"
 
 
 def render_text(report: LintReport, *, fail_on: Severity = Severity.ERROR) -> str:
@@ -56,8 +62,10 @@ def report_to_dict(
                 "buffer": d.buffer,
                 "message": d.message,
                 "hint": d.hint,
+                "fixable": d.fixable,
+                "provenance": list(d.provenance),
             }
-            for d in report.diagnostics
+            for d in report.sorted()
         ],
     }
 

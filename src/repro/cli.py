@@ -11,7 +11,8 @@ Commands::
     repro ablations                   # ablation studies
     repro cache [--clear]             # inspect the persistent result cache
     repro bench [--compare BASE]      # engine perf report + regression gate
-    repro lint [BENCHMARK...]         # static pipeline verification
+    repro lint [BENCHMARK...] [--fix] # static pipeline verification
+    repro advise [BENCHMARK] [--static]  # rank optimization opportunities
     repro trace BENCHMARK             # run with the tracing layer attached
     repro all [--scale S]             # everything above
 
@@ -335,43 +336,66 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_targets(args: argparse.Namespace):
+    """The (pipeline, spec) pairs a lint invocation covers, in report
+    order: copy form then renamed limited-copy form for each benchmark —
+    the same shapes :func:`repro.analysis.lint_benchmark` lints."""
+    from repro.pipeline.transforms import remove_copies
+    from repro.workloads.loader import pipeline_from_file
+
+    pairs = []
+    if args.spec:
+        pipeline = pipeline_from_file(args.spec)
+        limited = remove_copies(pipeline)
+        pairs.append((pipeline, None))
+        pairs.append((
+            limited.with_stages(
+                limited.stages, name=f"{pipeline.name} [limited-copy]"
+            ),
+            None,
+        ))
+        return pairs
+    specs = (
+        [get(name) for name in args.benchmark]
+        if args.benchmark
+        else [s for s in simulatable_specs()]
+    )
+    for spec in specs:
+        if not spec.simulatable:
+            continue
+        pipeline = spec.pipeline()
+        limited = remove_copies(pipeline)
+        pairs.append((pipeline, spec))
+        pairs.append((
+            limited.with_stages(
+                limited.stages, name=f"{pipeline.name} [limited-copy]"
+            ),
+            spec,
+        ))
+    return pairs
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
     from repro.analysis import (
         LintReport,
         Severity,
-        lint_benchmark,
         lint_pipeline,
-        lint_registry,
         render_json,
         render_text,
+        report_to_dict,
     )
+    from repro.analysis.dataflow import apply_fixes
+    from repro.analysis.dataflow.fixes import fix_summary
 
     try:
         fail_on = Severity.parse(args.fail_on)
     except ValueError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    report = LintReport()
     try:
-        if args.spec:
-            from repro.pipeline.transforms import remove_copies
-            from repro.workloads.loader import pipeline_from_file
-
-            pipeline = pipeline_from_file(args.spec)
-            report.merge(lint_pipeline(pipeline))
-            limited = remove_copies(pipeline)
-            report.merge(
-                lint_pipeline(
-                    limited.with_stages(
-                        limited.stages, name=f"{pipeline.name} [limited-copy]"
-                    )
-                )
-            )
-        elif args.benchmark:
-            for name in args.benchmark:
-                report.merge(lint_benchmark(get(name)))
-        else:
-            report.merge(lint_registry())
+        pairs = _lint_targets(args)
     except KeyError as exc:
         print(f"repro lint: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -379,9 +403,63 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
 
+    fix_records = []
+    if args.fix:
+        fixed_pairs = []
+        for pipeline, spec in pairs:
+            result = apply_fixes(pipeline, spec)
+            fix_records.append((pipeline.name, result))
+            fixed_pairs.append((result.pipeline, spec))
+        pairs = fixed_pairs
+
+    report = LintReport()
+    for pipeline, spec in pairs:
+        report.merge(
+            lint_pipeline(pipeline, spec, opportunities=args.opportunities)
+        )
+
     if args.format == "json":
-        print(render_json(report, fail_on=fail_on))
+        payload = report_to_dict(report, fail_on=fail_on)
+        if args.fix:
+            payload["fixes"] = [
+                {
+                    "pipeline": name,
+                    "applied": [
+                        {
+                            "rule": f.rule,
+                            "kind": f.kind,
+                            "stages": list(f.stages),
+                            "description": f.description,
+                        }
+                        for f in result.applied
+                    ],
+                    "skipped": [
+                        {
+                            "rule": f.rule,
+                            "kind": f.kind,
+                            "stages": list(f.stages),
+                            "description": f.description,
+                        }
+                        for f in result.skipped
+                    ],
+                }
+                for name, result in fix_records
+                if result.applied or result.skipped
+            ]
+        print(_json.dumps(payload, indent=2))
     else:
+        if args.fix:
+            applied_total = 0
+            for name, result in fix_records:
+                if result.applied or result.skipped:
+                    print(f"fix: {name}:")
+                    for line in fix_summary(result).splitlines():
+                        print(f"  {line}")
+                applied_total += len(result.applied)
+            print(
+                f"fix: applied {applied_total} fix(es) across "
+                f"{len(fix_records)} pipeline(s)"
+            )
         print(render_text(report, fail_on=fail_on))
     return 0 if report.clean(fail_on) else 1
 
@@ -485,6 +563,29 @@ def cmd_table2(args: argparse.Namespace) -> int:
 
 
 def cmd_advise(args: argparse.Namespace) -> int:
+    if args.static:
+        from repro.analysis.dataflow import render_static_table, static_advice
+
+        try:
+            if args.benchmark:
+                print(static_advice(get(args.benchmark)).render())
+            else:
+                specs = sorted(
+                    simulatable_specs(), key=lambda s: s.full_name
+                )
+                print(render_static_table([static_advice(s) for s in specs]))
+        except KeyError as exc:
+            print(f"repro advise: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
+    if args.benchmark is None:
+        print(
+            "repro advise: a benchmark name is required unless --static "
+            "is given (the static advisor can sweep the whole registry; "
+            "the simulation-backed advisor runs one benchmark)",
+            file=sys.stderr,
+        )
+        return 2
     runner = _runner(args)
     return _render_with_failures(
         runner,
@@ -701,6 +802,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on", default="error", metavar="SEVERITY",
         help="exit 1 when a finding at or above this severity exists "
         "(error, warn, info; default: error)")
+    lint_p.add_argument(
+        "--fix", action="store_true",
+        help="apply safe autofixes (drop dead copies, fuse copy chains) "
+        "before linting; the report reflects the fixed pipelines")
+    lint_p.add_argument(
+        "--opportunities", action="store_true",
+        help="also run the RPL303-305 opportunity rules (overlap-blocking "
+        "serialization, migration candidates, cache-coordination "
+        "conflicts) — info-level headroom reports, not defects")
     lint_p.set_defaults(handler=cmd_lint)
     trace_p = add(
         "trace",
@@ -754,7 +864,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.set_defaults(handler=cmd_bench)
     advise_p = add("advise", cmd_advise,
                    "rank optimization opportunities for one benchmark")
-    advise_p.add_argument("benchmark", help="benchmark name")
+    advise_p.add_argument("benchmark", nargs="?", default=None,
+                          help="benchmark name; optional with --static "
+                          "(omit to advise the whole registry)")
+    advise_p.add_argument(
+        "--static", action="store_true",
+        help="simulation-free advisor: derive the verdicts from the "
+        "dataflow engine's static roofline model instead of simulating")
     timeline_p = add("timeline", cmd_timeline,
                      "render a run's component activity as ASCII Gantt")
     timeline_p.add_argument("benchmark", help="benchmark name")

@@ -190,7 +190,12 @@ class SweepRunner:
         return keys
 
     def _preflight(self, tasks: List[SweepTask]) -> None:
-        """Refuse to simulate pipelines with error-level lint findings."""
+        """Refuse to simulate pipelines with error-level lint findings.
+
+        Lints are memoized by pipeline content hash, so repeated sweeps
+        over the same specs (scale sweeps, ``pair()`` loops, the static
+        advisor) analyse each distinct pipeline once per process.
+        """
         from repro.analysis import assert_lint_clean
         from repro.pipeline.transforms import remove_copies
 
@@ -198,7 +203,7 @@ class SweepRunner:
             pipeline = task.spec.pipeline()
             if task.version == LIMITED:
                 pipeline = remove_copies(pipeline)
-            assert_lint_clean(pipeline, task.spec)
+            assert_lint_clean(pipeline, task.spec, memoize=True)
 
     def _failures_for(self, name: str, version: str) -> List[TaskFailure]:
         metrics = self.last_metrics

@@ -194,7 +194,13 @@ def _tsp() -> Pipeline:
         b.gpu_kernel(
             f"two_opt_{step}",
             flops=1.6e9,
-            reads=[BufferAccess("coords_dev", AccessPattern.STREAMING, passes=6.0)],
+            reads=[
+                BufferAccess("coords_dev", AccessPattern.STREAMING, passes=6.0),
+                # 2-opt inspects the current tour before exchanging edges;
+                # without this read the initial h2d tour fill is dead code
+                # (each sweep would overwrite a tour nobody looked at).
+                BufferAccess("tour_dev", AccessPattern.STREAMING),
+            ],
             writes=[BufferAccess("tour_dev", AccessPattern.STREAMING)],
             efficiency=0.6,
         )

@@ -1,0 +1,21 @@
+"""RPL301: an upload whose bytes a device-side init kernel fully overwrites
+before anything reads them — the copy moves data no one can observe."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL301"
+STAGE = "h2d_tour"
+BUFFER = "tour_dev"
+
+
+def build():
+    b = PipelineBuilder(
+        "fixture/rpl301_dead_copy", metadata={"outputs": ("tour",)}
+    )
+    b.buffer("tour", 1 * MB)
+    b.copy_h2d("tour", name="h2d_tour")  # clobbered by "init" before any read
+    b.gpu_kernel("init", flops=1e6, writes=[BufferAccess("tour_dev")])
+    b.copy_d2h("tour_dev", "tour", name="d2h_tour")
+    return b.build(), None

@@ -1,0 +1,34 @@
+"""RPL302: a device-to-device move ported naively as a round trip through a
+host bounce buffer that exists only to forward the bytes."""
+
+from repro.pipeline.buffers import MemorySpace
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL302"
+STAGE = "d2h_r"
+BUFFER = "bounce"
+
+
+def build():
+    b = PipelineBuilder(
+        "fixture/rpl302_fusible_copies", metadata={"outputs": ("out",)}
+    )
+    b.buffer("x", 1 * MB)
+    b.buffer("bounce", 1 * MB)  # host staging: only h2d_bounce reads it
+    b.buffer("out", 1 * MB)
+    b.buffer("r_dev", 1 * MB, space=MemorySpace.GPU, temporary=True)
+    b.buffer("r2_dev", 1 * MB, space=MemorySpace.GPU, temporary=True)
+    b.buffer("o_dev", 1 * MB, space=MemorySpace.GPU, temporary=True)
+    b.copy_h2d("x", name="h2d_x")
+    b.gpu_kernel(
+        "produce", flops=1e6, reads=["x_dev"], writes=[BufferAccess("r_dev")]
+    )
+    b.copy_d2h("r_dev", "bounce", name="d2h_r", mirror=False)
+    b.copy_h2d("bounce", "r2_dev", name="h2d_bounce", mirror=False)
+    b.gpu_kernel(
+        "consume", flops=1e6, reads=["r2_dev"], writes=[BufferAccess("o_dev")]
+    )
+    b.copy_d2h("o_dev", "out", name="d2h_out", mirror=False)
+    return b.build(), None

@@ -1,0 +1,37 @@
+"""RPL303: the builder's default serial chaining makes kernel ``ka`` wait
+for the upload of ``b`` even though it only consumes ``a`` — a classic
+bulk-synchronous edge that blocks copy/compute overlap."""
+
+from repro.pipeline.buffers import MemorySpace
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL303"
+STAGE = "ka"
+BUFFER = None
+OPPORTUNITIES = True
+
+
+def build():
+    b = PipelineBuilder(
+        "fixture/rpl303_serialization_edge", metadata={"outputs": ("out",)}
+    )
+    b.buffer("a", 1 * MB)
+    b.buffer("b", 1 * MB)
+    b.buffer("out", 1 * MB)
+    b.buffer("o_dev", 1 * MB, space=MemorySpace.GPU, temporary=True)
+    b.copy_h2d("a", name="h2d_a")
+    b.copy_h2d("b", name="h2d_b")
+    # Serial edge h2d_b -> ka carries no data: ka reads only a_dev.
+    b.gpu_kernel(
+        "ka", flops=1e6, reads=["a_dev"], writes=[BufferAccess("o_dev")]
+    )
+    b.gpu_kernel(
+        "kb",
+        flops=1e6,
+        reads=["b_dev", "o_dev"],
+        writes=[BufferAccess("o_dev")],
+    )
+    b.copy_d2h("o_dev", "out", name="d2h_out", mirror=False)
+    return b.build(), None

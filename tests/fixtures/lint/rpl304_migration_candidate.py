@@ -1,0 +1,28 @@
+"""RPL304: a host-side reduction doing well under one flop per byte over a
+large array — memory-bound, so it should migrate next to the data instead
+of pulling the data across the chip."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL304"
+STAGE = "reduce_host"
+BUFFER = None
+OPPORTUNITIES = True
+
+
+def build():
+    b = PipelineBuilder(
+        "fixture/rpl304_migration_candidate", metadata={"outputs": ("hist",)}
+    )
+    b.buffer("data", 8 * MB)
+    b.buffer("hist", 1 * MB)
+    # ~0.42 flop/byte over 9 MB touched: far below the 4 flop/byte ridge.
+    b.cpu_stage(
+        "reduce_host",
+        flops=4e6,
+        reads=["data"],
+        writes=[BufferAccess("hist")],
+    )
+    return b.build(), None

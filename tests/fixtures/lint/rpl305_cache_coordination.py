@@ -1,0 +1,32 @@
+"""RPL305: a limited-copy CPU->GPU hand-off whose shared working set is
+four times the combined on-chip L2 capacity — without coordination the
+producer has evicted everything before the consumer arrives."""
+
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+RULE = "RPL305"
+STAGE = "visit"
+BUFFER = "frontier"
+OPPORTUNITIES = True
+
+
+def build():
+    b = PipelineBuilder(
+        "fixture/rpl305_cache_coordination", metadata={"outputs": ("out",)}
+    )
+    b.buffer("frontier", 8 * MB)  # CPU L2s + GPU L2 hold only 2 MB
+    b.buffer("out", 1 * MB)
+    # High intensity keeps RPL304 quiet: this stage is compute-bound.
+    b.cpu_stage(
+        "expand",
+        flops=1e9,
+        reads=["frontier"],
+        writes=[BufferAccess("frontier")],
+    )
+    b.gpu_kernel(
+        "visit", flops=1e9, reads=["frontier"], writes=[BufferAccess("out")]
+    )
+    pipeline = b.build()
+    return pipeline.with_stages(pipeline.stages, limited_copy=True), None

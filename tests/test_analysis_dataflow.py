@@ -1,0 +1,469 @@
+"""Unit tests for the region-based abstract interpreter and autofix engine
+(``repro.analysis.dataflow``) plus the lint-report memo."""
+
+import pytest
+
+from repro.analysis import (
+    lint_pipeline,
+    lint_pipeline_memoized,
+    pipeline_content_hash,
+)
+from repro.analysis.dataflow.absint import (
+    MANY_WRITERS,
+    DataflowAnalysis,
+    SerializationEdge,
+)
+from repro.analysis.dataflow.fixes import apply_fixes, plan_fixes
+from repro.analysis.dataflow.lattice import (
+    EMPTY_SET,
+    FULL_SET,
+    WIDEN_LIMIT,
+    IntervalSet,
+)
+from repro.analysis.memo import LintMemo
+from repro.pipeline.buffers import MemorySpace
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess, Region
+from repro.units import MB
+
+
+class TestIntervalSet:
+    def test_from_pairs_canonicalizes(self):
+        s = IntervalSet.from_pairs([(0.5, 0.7), (0.0, 0.3), (0.25, 0.5)])
+        assert s.intervals == ((0.0, 0.7),)
+
+    def test_degenerate_pairs_dropped(self):
+        assert IntervalSet.from_pairs([(0.3, 0.3)]).is_empty
+
+    def test_measure(self):
+        s = IntervalSet.from_pairs([(0.0, 0.25), (0.5, 0.75)])
+        assert s.measure() == pytest.approx(0.5)
+
+    def test_union_intersect_subtract(self):
+        a = IntervalSet.from_pairs([(0.0, 0.5)])
+        b = IntervalSet.from_pairs([(0.25, 0.75)])
+        assert a.union(b).intervals == ((0.0, 0.75),)
+        assert a.intersect(b).intervals == ((0.25, 0.5),)
+        assert a.subtract(b).intervals == ((0.0, 0.25),)
+        assert a.subtract(a).is_empty
+
+    def test_covers_and_overlaps(self):
+        assert FULL_SET.covers(IntervalSet.from_pairs([(0.2, 0.4)]))
+        assert not IntervalSet.from_pairs([(0.0, 0.3)]).covers(FULL_SET)
+        assert IntervalSet.from_pairs([(0.0, 0.3)]).overlaps(
+            IntervalSet.from_pairs([(0.2, 0.4)])
+        )
+        assert not IntervalSet.from_pairs([(0.0, 0.2)]).overlaps(
+            IntervalSet.from_pairs([(0.2, 0.4)])
+        )
+        assert EMPTY_SET.covers(EMPTY_SET)
+
+    def test_hull(self):
+        s = IntervalSet.from_pairs([(0.0, 0.1), (0.8, 0.9)])
+        assert s.hull().intervals == ((0.0, 0.9),)
+
+    def test_widen_only_past_limit(self):
+        pieces = [
+            (i / 64, i / 64 + 1 / 128) for i in range(WIDEN_LIMIT + 4)
+        ]
+        wide = IntervalSet.from_pairs(pieces)
+        assert len(wide.intervals) == WIDEN_LIMIT + 4
+        assert wide.widen().intervals == wide.hull().intervals
+        narrow = IntervalSet.from_pairs(pieces[:3])
+        assert narrow.widen() == narrow
+
+    def test_from_region(self):
+        s = IntervalSet.from_region(Region(0.25, 0.5))
+        assert s.intervals == ((0.25, 0.5),)
+        assert s.measure() == pytest.approx(0.25)
+
+
+def _overwrite_pipeline():
+    """h2d fills x_dev, a kernel overwrites its lower half, d2h drains."""
+    b = PipelineBuilder("test/overwrite", metadata={"outputs": ("x",)})
+    b.buffer("x", 1 * MB)
+    b.copy_h2d("x", name="h2d_x")
+    b.gpu_kernel(
+        "halve",
+        flops=1e6,
+        writes=[BufferAccess("x_dev", region=Region(0.0, 0.5))],
+    )
+    b.copy_d2h("x_dev", "x", name="d2h_x")
+    return b.build()
+
+
+class TestReachingDefinitions:
+    def test_partial_overwrite_splits_defs(self):
+        analysis = DataflowAnalysis(_overwrite_pipeline())
+        defs = {d.writer: d.region for d in analysis.defs_at("d2h_x", "x_dev")}
+        assert defs["halve"].intervals == ((0.0, 0.5),)
+        assert defs["h2d_x"].intervals == ((0.5, 1.0),)
+
+    def test_sole_writer(self):
+        analysis = DataflowAnalysis(_overwrite_pipeline())
+        upper = IntervalSet.from_pairs([(0.5, 1.0)])
+        assert analysis.sole_writer("d2h_x", "x_dev", upper) == "h2d_x"
+        # The full region has two writers: no sole writer.
+        assert analysis.sole_writer("d2h_x", "x_dev", FULL_SET) is None
+
+    def test_full_overwrite_kills_def(self):
+        b = PipelineBuilder("test/kill")
+        b.buffer("x", 1 * MB)
+        b.copy_h2d("x", name="h2d_x")
+        b.gpu_kernel("clobber", flops=1e6, writes=[BufferAccess("x_dev")])
+        b.gpu_kernel("read", flops=1e6, reads=["x_dev"])
+        analysis = DataflowAnalysis(b.build())
+        writers = {d.writer for d in analysis.defs_at("read", "x_dev")}
+        assert writers == {"clobber"}
+
+    def test_writer_set_widening_collapses_to_sentinel(self):
+        b = PipelineBuilder("test/widen")
+        b.buffer("x", 1 * MB)
+        names = []
+        for i in range(WIDEN_LIMIT + 2):
+            lo, hi = i / 32, (i + 1) / 32
+            names.append(
+                b.cpu_stage(
+                    f"w{i}",
+                    flops=1.0,
+                    writes=[BufferAccess("x", region=Region(lo, hi))],
+                    after=[],
+                )
+            )
+        b.cpu_stage("read", flops=1.0, reads=["x"], after=names)
+        analysis = DataflowAnalysis(b.build())
+        writers = {d.writer for d in analysis.defs_at("read", "x")}
+        assert writers == {MANY_WRITERS}
+        assert analysis.sole_writer("read", "x", EMPTY_SET) is None
+
+
+class TestObservableLiveness:
+    def test_clobbered_copy_has_no_observers(self):
+        b = PipelineBuilder("test/dead", metadata={"outputs": ("x",)})
+        b.buffer("x", 1 * MB)
+        b.copy_h2d("x", name="h2d_x")
+        b.gpu_kernel("init", flops=1e6, writes=[BufferAccess("x_dev")])
+        b.copy_d2h("x_dev", "x", name="d2h_x")
+        pipeline = b.build()
+        analysis = DataflowAnalysis(pipeline)
+        h2d = pipeline.stage("h2d_x")
+        assert analysis.observers_of_write("h2d_x", h2d.writes[0]) == []
+        assert analysis.dead_region("h2d_x", h2d.writes[0]) == FULL_SET
+
+    def test_partial_overwrite_leaves_tail_live(self):
+        pipeline = _overwrite_pipeline()
+        analysis = DataflowAnalysis(pipeline)
+        h2d = pipeline.stage("h2d_x")
+        observers = analysis.observers_of_write("h2d_x", h2d.writes[0])
+        assert [(o, part.intervals) for o, part in observers] == [
+            ("d2h_x", ((0.5, 1.0),))
+        ]
+        assert analysis.dead_region("h2d_x", h2d.writes[0]).intervals == (
+            (0.0, 0.5),
+        )
+
+    def test_declared_output_is_an_observer(self):
+        b = PipelineBuilder("test/out", metadata={"outputs": ("y",)})
+        b.buffer("y", 1 * MB)
+        b.cpu_stage("fill", flops=1.0, writes=[BufferAccess("y")])
+        pipeline = b.build()
+        analysis = DataflowAnalysis(pipeline)
+        fill = pipeline.stage("fill")
+        observers = analysis.observers_of_write("fill", fill.writes[0])
+        assert observers == [("<output>", FULL_SET)]
+
+    def test_communicated_bytes_weighted_by_fraction(self):
+        b = PipelineBuilder("test/comm")
+        b.buffer("q", 8 * MB)
+        b.cpu_stage("prod", flops=1.0, writes=[BufferAccess("q")])
+        b.gpu_kernel(
+            "cons", flops=1.0, reads=[BufferAccess("q", fraction=0.5)]
+        )
+        pipeline = b.build()
+        analysis = DataflowAnalysis(pipeline)
+        bytes_ = analysis.communicated_bytes(
+            pipeline.stage("prod"), pipeline.stage("cons"), "q"
+        )
+        assert bytes_ == pytest.approx(4 * MB)
+
+
+class TestCopyChain:
+    def test_bounce_chain_walks_back_to_origin_copy(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).parent
+            / "fixtures"
+            / "lint"
+            / "rpl302_fusible_copies.py"
+        )
+        spec = importlib.util.spec_from_file_location("rpl302fx", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        pipeline, _ = module.build()
+        analysis = DataflowAnalysis(pipeline)
+        assert analysis.copy_chain("h2d_bounce") == ("d2h_r", "h2d_bounce")
+        # The first copy's source is kernel-produced: the chain stops.
+        assert analysis.copy_chain("d2h_r") == ("d2h_r",)
+
+
+class TestSerializationEdges:
+    def test_serial_chain_edge_without_dataflow_is_flagged(self):
+        b = PipelineBuilder("test/serial")
+        b.buffer("a", 1 * MB)
+        b.buffer("b", 1 * MB)
+        b.copy_h2d("a", name="h2d_a")
+        b.copy_h2d("b", name="h2d_b")
+        b.gpu_kernel("ka", flops=1e6, reads=["a_dev"])
+        b.gpu_kernel("kb", flops=1e6, reads=["b_dev"])
+        analysis = DataflowAnalysis(b.build())
+        edges = {(e.src, e.dst): e for e in analysis.serialization_edges()}
+        assert ("h2d_b", "ka") in edges
+        edge = edges[("h2d_b", "ka")]
+        assert isinstance(edge, SerializationEdge)
+        assert edge.crosses_components
+        assert ("h2d_b", "ka") in edge.freed_pairs
+        # Data-carrying edges never qualify.
+        assert ("h2d_a", "h2d_b") not in edges or not edges[
+            ("h2d_a", "h2d_b")
+        ].crosses_components
+        assert ("ka", "kb") in edges  # ka/kb share no data either
+
+    def test_data_dependent_edge_not_flagged(self):
+        b = PipelineBuilder("test/dep")
+        b.buffer("a", 1 * MB)
+        b.copy_h2d("a", name="h2d_a")
+        b.gpu_kernel("k", flops=1e6, reads=["a_dev"])
+        analysis = DataflowAnalysis(b.build())
+        assert analysis.serialization_edges() == []
+
+    def test_transitively_covered_edge_frees_nothing(self):
+        b = PipelineBuilder("test/covered")
+        b.buffer("a", 1 * MB)
+        b.buffer("o_dev", 1 * MB, space=MemorySpace.GPU, temporary=True)
+        b.copy_h2d("a", name="h2d_a")
+        b.gpu_kernel(
+            "k1", flops=1e6, reads=["a_dev"], writes=[BufferAccess("o_dev")]
+        )
+        # k2 names h2d_a redundantly: covered through k1, frees nothing.
+        b.gpu_kernel(
+            "k2",
+            flops=1e6,
+            reads=["o_dev"],
+            after=["k1", "h2d_a"],
+        )
+        analysis = DataflowAnalysis(b.build())
+        assert ("h2d_a", "k2") not in {
+            (e.src, e.dst) for e in analysis.serialization_edges()
+        }
+
+
+class TestFootprints:
+    def test_footprint_counts_region_fraction_passes(self):
+        b = PipelineBuilder("test/foot")
+        b.buffer("d", 8 * MB)
+        b.buffer("h", 2 * MB)
+        b.cpu_stage(
+            "s",
+            flops=1e6,
+            reads=[
+                BufferAccess(
+                    "d", region=Region(0.0, 0.5), fraction=0.5, passes=2.0
+                )
+            ],
+            writes=[BufferAccess("h")],
+        )
+        pipeline = b.build()
+        fp = DataflowAnalysis(pipeline).footprint(pipeline.stage("s"))
+        assert fp.read_bytes == pytest.approx(8 * MB * 0.5 * 0.5 * 2.0)
+        assert fp.write_bytes == pytest.approx(2 * MB)
+        assert fp.flop_per_byte == pytest.approx(
+            1e6 / (fp.read_bytes + fp.write_bytes)
+        )
+
+    def test_zero_byte_stage_has_infinite_intensity(self):
+        b = PipelineBuilder("test/nobytes")
+        b.buffer("x", 1 * MB)
+        b.cpu_stage("sync", flops=10.0)
+        b.cpu_stage("use", flops=1.0, reads=["x"])
+        pipeline = b.build()
+        fp = DataflowAnalysis(pipeline).footprint(pipeline.stage("sync"))
+        assert fp.flop_per_byte == float("inf")
+
+
+def _dead_copy_pipeline():
+    b = PipelineBuilder("test/fix_dead", metadata={"outputs": ("t",)})
+    b.buffer("t", 1 * MB)
+    b.copy_h2d("t", name="h2d_t")
+    b.gpu_kernel("init", flops=1e6, writes=[BufferAccess("t_dev")])
+    b.copy_d2h("t_dev", "t", name="d2h_t")
+    return b.build()
+
+
+def _bounce_pipeline():
+    b = PipelineBuilder("test/fix_bounce", metadata={"outputs": ("out",)})
+    b.buffer("x", 1 * MB)
+    b.buffer("bounce", 1 * MB)
+    b.buffer("out", 1 * MB)
+    b.buffer("r_dev", 1 * MB, space=MemorySpace.GPU, temporary=True)
+    b.buffer("r2_dev", 1 * MB, space=MemorySpace.GPU, temporary=True)
+    b.buffer("o_dev", 1 * MB, space=MemorySpace.GPU, temporary=True)
+    b.copy_h2d("x", name="h2d_x")
+    b.gpu_kernel(
+        "produce", flops=1e6, reads=["x_dev"], writes=[BufferAccess("r_dev")]
+    )
+    b.copy_d2h("r_dev", "bounce", name="d2h_r", mirror=False)
+    b.copy_h2d("bounce", "r2_dev", name="h2d_bounce", mirror=False)
+    b.gpu_kernel(
+        "consume", flops=1e6, reads=["r2_dev"], writes=[BufferAccess("o_dev")]
+    )
+    b.copy_d2h("o_dev", "out", name="d2h_out", mirror=False)
+    return b.build()
+
+
+class TestFixes:
+    def test_plan_is_deterministic(self):
+        pipeline = _dead_copy_pipeline()
+        assert plan_fixes(pipeline) == plan_fixes(pipeline)
+
+    def test_drop_dead_copy(self):
+        result = apply_fixes(_dead_copy_pipeline())
+        assert [f.kind for f in result.applied] == ["drop-copy"]
+        assert result.skipped == ()
+        names = {s.name for s in result.pipeline.stages}
+        assert "h2d_t" not in names
+        report = lint_pipeline(result.pipeline)
+        assert not [d for d in report if d.rule in ("RPL301", "RPL302")]
+
+    def test_fuse_bounce_chain(self):
+        result = apply_fixes(_bounce_pipeline())
+        assert "fuse-copies" in {f.kind for f in result.applied}
+        fused = result.pipeline.stage("h2d_bounce")
+        assert fused.src == "r_dev" and fused.dst == "r2_dev"
+        assert "d2h_r" not in {s.name for s in result.pipeline.stages}
+        assert "bounce" not in result.pipeline.buffers  # pruned
+        report = lint_pipeline(result.pipeline)
+        assert not [d for d in report if d.rule in ("RPL301", "RPL302")]
+
+    def test_dependents_spliced_onto_dependencies(self):
+        result = apply_fixes(_dead_copy_pipeline())
+        init = result.pipeline.stage("init")
+        # "init" depended on the dropped copy; it inherits its deps (none).
+        assert "h2d_t" not in init.depends_on
+        order = [s.name for s in result.pipeline.topological_order()]
+        assert order.index("init") < order.index("d2h_t")
+
+    def test_idempotent(self):
+        once = apply_fixes(_bounce_pipeline())
+        twice = apply_fixes(once.pipeline)
+        assert not twice.changed
+        assert twice.pipeline == once.pipeline
+
+    def test_results_equivalent_simulation(self):
+        from repro.config.system import discrete_gpu_system
+        from repro.sim.engine import SimOptions, simulate
+
+        pipeline = _bounce_pipeline()
+        fixed = apply_fixes(pipeline).pipeline
+        system = discrete_gpu_system()
+        base = simulate(pipeline, system, SimOptions(scale=1.0))
+        opt = simulate(fixed, system, SimOptions(scale=1.0))
+        # One whole copy disappears: never slower, same compute stages.
+        assert opt.roi_s <= base.roi_s
+        def kernels(r):
+            return sorted(
+                s.name for s in r.stages if s.name in ("produce", "consume")
+            )
+
+        assert kernels(base) == kernels(opt)
+
+    def test_clean_pipeline_untouched(self):
+        b = PipelineBuilder("test/clean", metadata={"outputs": ("y",)})
+        b.buffer("y", 1 * MB)
+        b.copy_h2d("y", name="h2d_y")
+        b.gpu_kernel(
+            "k", flops=1e6, reads=["y_dev"], writes=[BufferAccess("y_dev")]
+        )
+        b.copy_d2h("y_dev", "y", name="d2h_y")
+        pipeline = b.build()
+        result = apply_fixes(pipeline)
+        assert not result.changed
+        assert result.pipeline == pipeline
+
+
+class TestFixResultPreservation:
+    """On pipelines with no fixable findings, --fix must be a perfect
+    no-op: the identical pipeline object graph, hence bit-identical
+    v2-full serialization of its simulation results."""
+
+    @pytest.mark.parametrize(
+        "name", ["rodinia/kmeans", "lonestar/bfs", "parboil/sgemm"]
+    )
+    def test_registry_pipelines_are_fix_noops(self, name):
+        from repro.workloads.registry import get
+
+        pipeline = get(name).pipeline()
+        result = apply_fixes(pipeline, get(name))
+        assert not result.changed
+        assert result.pipeline == pipeline
+
+    def test_noop_fix_keeps_v2_full_bytes_identical(self):
+        import json
+
+        from repro.config.system import discrete_gpu_system
+        from repro.sim.engine import SimOptions, simulate
+        from repro.sim.serialize import result_to_full_dict
+        from repro.workloads.registry import get
+
+        spec = get("rodinia/kmeans")
+        pipeline = spec.pipeline()
+        fixed = apply_fixes(pipeline, spec).pipeline
+        system = discrete_gpu_system()
+        options = SimOptions(scale=1 / 128)
+        before = result_to_full_dict(simulate(pipeline, system, options))
+        after = result_to_full_dict(simulate(fixed, system, options))
+        assert json.dumps(before, sort_keys=True) == json.dumps(
+            after, sort_keys=True
+        )
+
+
+class TestLintMemo:
+    def test_hit_and_miss_accounting(self):
+        memo = LintMemo()
+        pipeline = _dead_copy_pipeline()
+        first = lint_pipeline_memoized(pipeline, memo=memo)
+        second = lint_pipeline_memoized(pipeline, memo=memo)
+        assert (memo.misses, memo.hits) == (1, 1)
+        assert len(memo) == 1
+        assert [d.sort_key for d in first] == [d.sort_key for d in second]
+
+    def test_returns_fresh_copies(self):
+        memo = LintMemo()
+        pipeline = _dead_copy_pipeline()
+        first = lint_pipeline_memoized(pipeline, memo=memo)
+        n = len(first.diagnostics)
+        first.merge(lint_pipeline(_bounce_pipeline()))
+        again = lint_pipeline_memoized(pipeline, memo=memo)
+        assert len(again.diagnostics) == n  # merge did not pollute the memo
+
+    def test_opportunities_flag_changes_key(self):
+        pipeline = _dead_copy_pipeline()
+        assert pipeline_content_hash(pipeline) != pipeline_content_hash(
+            pipeline, opportunities=True
+        )
+        memo = LintMemo()
+        lint_pipeline_memoized(pipeline, memo=memo)
+        lint_pipeline_memoized(pipeline, opportunities=True, memo=memo)
+        assert memo.misses == 2
+
+    def test_distinct_pipelines_distinct_keys(self):
+        assert pipeline_content_hash(
+            _dead_copy_pipeline()
+        ) != pipeline_content_hash(_bounce_pipeline())
+
+    def test_clear_resets(self):
+        memo = LintMemo()
+        lint_pipeline_memoized(_dead_copy_pipeline(), memo=memo)
+        memo.clear()
+        assert (len(memo), memo.hits, memo.misses) == (0, 0, 0)

@@ -19,11 +19,22 @@ def load_fixture(path):
     return module
 
 
+def lint_fixture(module):
+    """Lint a fixture pipeline, enabling the RPL303-305 opportunity rules
+    when the fixture opts in via a module-level ``OPPORTUNITIES = True``."""
+    pipeline, bench_spec = module.build()
+    report = lint_pipeline(
+        pipeline,
+        bench_spec,
+        opportunities=getattr(module, "OPPORTUNITIES", False),
+    )
+    return pipeline, report
+
+
 @pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
 def test_fixture_fires_expected_rule(path):
     module = load_fixture(path)
-    pipeline, bench_spec = module.build()
-    report = lint_pipeline(pipeline, bench_spec)
+    pipeline, report = lint_fixture(module)
     matches = [d for d in report if d.rule == module.RULE]
     assert matches, (
         f"{path.stem}: expected {module.RULE} to fire, got "
@@ -49,8 +60,7 @@ def test_fixture_fires_no_unrelated_rule_family(path):
     """A fixture triggers its own rule, not a zoo of incidental findings:
     any extra rule must at least stay below the fixture rule's severity."""
     module = load_fixture(path)
-    pipeline, bench_spec = module.build()
-    report = lint_pipeline(pipeline, bench_spec)
+    pipeline, report = lint_fixture(module)
     expected_rank = RULES[module.RULE].severity.rank
     for diagnostic in report:
         if diagnostic.rule != module.RULE:

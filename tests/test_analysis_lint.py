@@ -234,14 +234,42 @@ class TestReporters:
     def test_json_schema_stable(self):
         payload = json.loads(render_json(lint_pipeline(racy_pipeline())))
         assert payload["schema"] == LINT_SCHEMA
+        assert LINT_SCHEMA == "repro.lint/v2"
         assert payload["clean"] is False
         assert payload["counts"]["error"] == 1
         (finding,) = payload["findings"]
         assert set(finding) == {
-            "rule", "severity", "pipeline", "stage", "buffer", "message", "hint",
+            "rule", "severity", "pipeline", "stage", "buffer", "message",
+            "hint", "fixable", "provenance",
         }
         assert finding["rule"] == "RPL001"
         assert finding["pipeline"] == "test/racy"
+        assert finding["fixable"] is False
+        assert finding["provenance"] == []
+
+    def test_v1_consumers_parse_v2_reports(self):
+        # v2 is a strict superset of v1: every v1 field survives with the
+        # same name, type, and meaning, so a consumer written against v1
+        # (reading only the v1 keys) parses a v2 document unchanged.
+        payload = json.loads(render_json(lint_pipeline(racy_pipeline())))
+        v1_top = {"schema", "fail_on", "clean", "pipelines", "counts",
+                  "findings"}
+        assert v1_top <= set(payload)
+        v1_finding = {"rule", "severity", "pipeline", "stage", "buffer",
+                      "message", "hint"}
+        for finding in payload["findings"]:
+            assert v1_finding <= set(finding)
+            assert isinstance(finding["rule"], str)
+            assert isinstance(finding["severity"], str)
+        assert payload["schema"].startswith("repro.lint/")
+
+    def test_json_findings_are_byte_stable(self):
+        # Two lints of the same pipeline must serialize identically —
+        # findings are sorted by (pipeline, rule, stage, buffer, message),
+        # not by rule execution order.
+        first = render_json(lint_pipeline(racy_pipeline()))
+        second = render_json(lint_pipeline(racy_pipeline()))
+        assert first == second
 
     def test_json_respects_fail_on(self):
         report = lint_pipeline(serial_pipeline())
@@ -256,12 +284,32 @@ class TestRuleCatalogue:
             "RPL001", "RPL002", "RPL003",
             "RPL101", "RPL102", "RPL103", "RPL104", "RPL105", "RPL106",
             "RPL201", "RPL202", "RPL203", "RPL204",
+            "RPL301", "RPL302", "RPL303", "RPL304", "RPL305",
         }
         for rule_id in ("RPL001", "RPL002", "RPL003", "RPL101", "RPL102"):
             assert RULES[rule_id].severity is Severity.ERROR
         for rule_id in ("RPL103", "RPL104", "RPL105", "RPL106",
-                        "RPL201", "RPL202", "RPL203", "RPL204"):
+                        "RPL201", "RPL202", "RPL203", "RPL204",
+                        "RPL301", "RPL302"):
             assert RULES[rule_id].severity is Severity.WARNING
+        for rule_id in ("RPL303", "RPL304", "RPL305"):
+            assert RULES[rule_id].severity is Severity.INFO
+
+    def test_dataflow_family_flags(self):
+        # Fixable rules have safe autofixes; opportunity rules are opt-in
+        # and never both (an opportunity must not be auto-applied).
+        assert RULES["RPL301"].fixable and not RULES["RPL301"].opportunity
+        assert RULES["RPL302"].fixable and not RULES["RPL302"].opportunity
+        for rule_id in ("RPL303", "RPL304", "RPL305"):
+            assert RULES[rule_id].opportunity
+            assert not RULES[rule_id].fixable
+        for rule_id, rule in RULES.items():
+            if not rule_id.startswith("RPL3"):
+                assert not rule.fixable and not rule.opportunity
+        assert RULES["RPL001"].category == "hazard"
+        assert RULES["RPL104"].category == "memspace"
+        assert RULES["RPL201"].category == "spec"
+        assert RULES["RPL305"].category == "dataflow"
 
 
 class TestLintBenchmark:
@@ -318,3 +366,28 @@ class TestRunnerPreflight:
         )
         result = runner.run(get("rodinia/kmeans"), LIMITED)
         assert result.roi_s > 0
+
+    def test_preflight_memoizes_repeat_lints(self):
+        from repro.analysis import default_memo, reset_default_memo
+        from repro.experiments.runner import COPY, SweepRunner
+        from repro.sim.engine import SimOptions
+        from repro.workloads.registry import get
+
+        reset_default_memo()
+        try:
+            runner = SweepRunner(
+                options=SimOptions(scale=1 / 128), preflight=True
+            )
+            runner.run(get("rodinia/kmeans"), COPY)
+            after_first = default_memo().misses
+            assert after_first >= 1
+            # A fresh runner preflights the same pipeline again: the
+            # process-wide memo answers without re-analysing.
+            second = SweepRunner(
+                options=SimOptions(scale=1 / 128), preflight=True
+            )
+            second.run(get("rodinia/kmeans"), COPY)
+            assert default_memo().misses == after_first
+            assert default_memo().hits >= 1
+        finally:
+            reset_default_memo()

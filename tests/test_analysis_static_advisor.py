@@ -1,0 +1,123 @@
+"""Differential validation of the simulation-free static advisor.
+
+The static advisor answers the paper's three applicability questions
+(overlap, migration, coordination) from pipeline structure alone; the
+dynamic advisor answers them from simulation results.  These tests pin
+the contract that the two agree — on a five-class representative subset
+on every run, and on the full 46-benchmark registry when
+``REPRO_ADVISOR_FULL=1`` (the full matrix costs ~75 s cold, same trade
+as the engine-equivalence matrix).
+
+Scale matters: agreement is calibrated at ``DEFAULT_BENCH_SCALE`` (the
+scale every CLI entry point simulates at).  Smaller scales shift cache-
+line granularity effects enough to move near-threshold benchmarks
+(parboil/bfs straddles the overlap threshold at 1/128).
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.dataflow.advisor import (
+    Verdict,
+    dynamic_verdict,
+    render_static_table,
+    static_advice,
+    static_verdict,
+)
+from repro.experiments.runner import DEFAULT_BENCH_SCALE, SweepRunner
+from repro.sim.engine import SimOptions
+from repro.workloads.registry import get, simulatable_specs
+
+#: One or two benchmarks from every (overlap, migration, coordination)
+#: class the registry exhibits, plus the known threshold-straddlers
+#: (parboil/bfs sits nearest the overlap threshold; parboil/cutcp has the
+#: inverted static-vs-dynamic overlap margin).
+SUBSET = (
+    "parboil/sgemm",  # (no, no, no): compute-bound, GPU-only
+    "parboil/stencil",
+    "lonestar/tsp",  # (no, no, yes)
+    "parboil/lbm",
+    "lonestar/mst",  # (no, yes, no): graph app with CPU phases
+    "parboil/bfs",
+    "lonestar/bfs",  # (yes, yes, no)
+    "rodinia/bfs",
+    "parboil/cutcp",  # (yes, yes, yes)
+    "rodinia/kmeans",
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(options=SimOptions(scale=DEFAULT_BENCH_SCALE))
+
+
+class TestDifferentialAgreement:
+    @pytest.mark.parametrize("name", SUBSET)
+    def test_subset_agreement(self, name, runner):
+        spec = get(name)
+        static = static_verdict(spec)
+        dynamic = dynamic_verdict(spec, runner)
+        assert static.agrees(dynamic), (
+            f"{name}: static {static} vs dynamic {dynamic}"
+        )
+
+    @pytest.mark.advisor_full
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_ADVISOR_FULL"),
+        reason="full 46-benchmark differential; set REPRO_ADVISOR_FULL=1",
+    )
+    def test_full_registry_agreement(self, runner):
+        disagreements = []
+        for spec in sorted(simulatable_specs(), key=lambda s: s.full_name):
+            static = static_verdict(spec)
+            dynamic = dynamic_verdict(spec, runner)
+            if not static.agrees(dynamic):
+                disagreements.append((spec.full_name, static, dynamic))
+        assert not disagreements
+
+
+class TestStaticAdvice:
+    def test_advice_carries_numbers_and_rationales(self):
+        advice = static_advice(get("rodinia/kmeans"))
+        assert advice.benchmark == "rodinia/kmeans"
+        assert advice.rationales
+        assert 0.0 <= advice.overlap_gain < 1.0
+        assert advice.reuse_ratio >= 0.0
+
+    def test_verdict_classes_pinned(self):
+        # Regression pins for one benchmark per extreme class.
+        assert static_verdict(get("parboil/sgemm")) == Verdict(
+            overlap=False, migration=False, coordination=False
+        )
+        assert static_verdict(get("rodinia/kmeans")) == Verdict(
+            overlap=True, migration=True, coordination=True
+        )
+
+    def test_render_mentions_benchmark_and_verdicts(self):
+        text = static_advice(get("rodinia/kmeans")).render()
+        assert "rodinia/kmeans" in text
+        assert "overlap" in text.lower()
+
+    def test_table_renders_all_rows(self):
+        advices = [
+            static_advice(get(n)) for n in ("parboil/sgemm", "rodinia/kmeans")
+        ]
+        table = render_static_table(advices)
+        assert "Static optimization advisor" in table
+        assert "parboil/sgemm" in table and "rodinia/kmeans" in table
+
+    def test_verdict_agreement_is_equality(self):
+        a = Verdict(overlap=True, migration=False, coordination=True)
+        assert a.agrees(Verdict(True, False, True))
+        assert not a.agrees(Verdict(False, False, True))
+
+    def test_static_advice_needs_no_simulation(self, monkeypatch):
+        import repro.sim.engine as engine
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard only
+            raise AssertionError("static advisor must not simulate")
+
+        monkeypatch.setattr(engine, "simulate", boom)
+        advice = static_advice(get("rodinia/hotspot"))
+        assert advice.benchmark == "rodinia/hotspot"

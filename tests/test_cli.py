@@ -209,7 +209,7 @@ class TestLintCommand:
 
         assert main(["lint", "rodinia/kmeans", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == "repro.lint/v1"
+        assert payload["schema"] == "repro.lint/v2"
         assert payload["clean"] is True
         assert payload["pipelines"] == [
             "rodinia/kmeans", "rodinia/kmeans [limited-copy]",
@@ -247,6 +247,83 @@ class TestLintCommand:
     def test_exit_2_unreadable_spec(self, capsys, tmp_path):
         assert main(["lint", "--spec", str(tmp_path / "missing.json")]) == 2
         assert capsys.readouterr().err
+
+    def test_opportunities_flag_surfaces_info_findings(self, capsys):
+        assert main(["lint", "rodinia/kmeans", "--opportunities"]) == 0
+        out = capsys.readouterr().out
+        assert "RPL304" in out  # kmeans' CPU update stages are candidates
+
+
+class TestLintFix:
+    def _dead_copy_spec(self, tmp_path):
+        import json
+
+        # The upload is clobbered by "init" before anything reads it:
+        # RPL301, fixable by dropping the copy.
+        spec = {
+            "name": "demo/deadcopy",
+            "outputs": ["t"],
+            "buffers": [{"name": "t", "size": "1MB"}],
+            "stages": [
+                {"op": "h2d", "buffer": "t"},
+                {"op": "gpu", "name": "init", "flops": 1e6,
+                 "writes": [{"buffer": "t_dev"}]},
+                {"op": "d2h", "src": "t_dev", "dst": "t", "name": "d2h_t"},
+            ],
+        }
+        path = tmp_path / "dead.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_fix_reports_applied_fixes(self, capsys, tmp_path):
+        spec = self._dead_copy_spec(tmp_path)
+        assert main(["lint", "--spec", spec, "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "RPL301" in out and "drop dead copy" in out
+        assert "applied 1 fix(es)" in out
+        assert "clean" in out  # the fixed pipeline re-lints clean
+
+    def test_fix_json_payload(self, capsys, tmp_path):
+        import json
+
+        spec = self._dead_copy_spec(tmp_path)
+        assert main(["lint", "--spec", spec, "--fix", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        (entry,) = payload["fixes"]
+        assert entry["pipeline"] == "demo/deadcopy"
+        (applied,) = entry["applied"]
+        assert applied["rule"] == "RPL301"
+        assert applied["kind"] == "drop-copy"
+        assert entry["skipped"] == []
+
+    def test_fix_on_clean_registry_benchmark_is_noop(self, capsys):
+        assert main(["lint", "rodinia/kmeans", "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "applied 0 fix(es)" in out
+        assert "clean" in out
+
+
+class TestAdviseStatic:
+    def test_single_benchmark(self, capsys):
+        assert main(["advise", "rodinia/kmeans", "--static"]) == 0
+        out = capsys.readouterr().out
+        assert "static advisor: rodinia/kmeans" in out
+        assert "overlap=yes" in out
+
+    def test_registry_table(self, capsys):
+        assert main(["advise", "--static"]) == 0
+        out = capsys.readouterr().out
+        assert "Static optimization advisor" in out
+        assert "rodinia/kmeans" in out and "parboil/sgemm" in out
+
+    def test_exit_2_without_benchmark_or_static(self, capsys):
+        assert main(["advise"]) == 2
+        assert "--static" in capsys.readouterr().err
+
+    def test_exit_2_unknown_benchmark(self, capsys):
+        assert main(["advise", "nosuch/bench", "--static"]) == 2
+        assert "nosuch/bench" in capsys.readouterr().err
 
 
 class TestExport:

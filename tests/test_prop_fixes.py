@@ -1,0 +1,144 @@
+"""Property-based tests for the ``repro lint --fix`` autofix engine.
+
+The generator produces pipelines seeded with the two fixable defects —
+uploads nothing reads (dead copies) and host-bounce round trips between
+device buffers (fusible chains) — mixed into otherwise healthy copy
+pipelines.  The engine must fix to a fixpoint, stay idempotent, never
+touch compute stages, and never introduce findings the original pipeline
+did not have.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Severity, lint_pipeline
+from repro.analysis.dataflow.fixes import apply_fixes
+from repro.pipeline.buffers import MemorySpace
+from repro.pipeline.builder import PipelineBuilder
+from repro.pipeline.stage import BufferAccess
+from repro.units import MB
+
+
+@st.composite
+def fixable_pipelines(draw):
+    """A copy pipeline with 0+ dead uploads and 0+ host-bounce chains."""
+    n_inputs = draw(st.integers(1, 3))
+    n_dead = draw(st.integers(0, 2))
+    n_bounces = draw(st.integers(0, 2))
+    b = PipelineBuilder("prop/fixes", metadata={"outputs": ("out",)})
+    available = []
+    for i in range(n_inputs):
+        name = f"in{i}"
+        b.buffer(name, draw(st.sampled_from([1 * MB, 2 * MB])))
+        b.copy_h2d(name)
+        available.append(f"{name}_dev")
+    for i in range(n_dead):
+        # An upload whose device mirror nothing ever reads: RPL301.
+        name = f"unused{i}"
+        b.buffer(name, 1 * MB)
+        b.copy_h2d(name, name=f"h2d_dead{i}")
+    b.buffer("out", 1 * MB)
+    b.mirror("out")
+    n_kernels = draw(st.integers(1, 3))
+    for k in range(n_kernels):
+        is_last = k == n_kernels - 1
+        target = "out_dev" if is_last else f"tmp{k}"
+        if not is_last:
+            b.buffer(target, 1 * MB, temporary=True)
+        reads = draw(
+            st.lists(
+                st.sampled_from(available),
+                min_size=1,
+                max_size=min(3, len(available)),
+                unique=True,
+            )
+        )
+        b.gpu_kernel(
+            f"k{k}",
+            flops=float(draw(st.integers(1, 1000)) * 1000),
+            reads=reads,
+            writes=[BufferAccess(target)],
+        )
+        if not is_last and draw(st.booleans()) and n_bounces > 0:
+            n_bounces -= 1
+            # Round-trip the fresh temporary through a host bounce
+            # buffer into a second device buffer: a fusible RPL302
+            # chain whose fused form is a device-to-device copy.
+            b.buffer(f"bounce{k}", 1 * MB)
+            b.buffer(
+                f"tmp{k}b", 1 * MB, space=MemorySpace.GPU, temporary=True
+            )
+            b.copy_d2h(target, f"bounce{k}", name=f"d2h_b{k}", mirror=False)
+            b.copy_h2d(
+                f"bounce{k}", f"tmp{k}b", name=f"h2d_b{k}", mirror=False
+            )
+            available.append(f"tmp{k}b")
+        else:
+            available.append(target)
+    b.copy_d2h("out_dev", "out", name="d2h_out")
+    return b.build()
+
+
+def warning_keys(pipeline):
+    report = lint_pipeline(pipeline)
+    return {
+        (d.rule, d.stage, d.buffer)
+        for d in report.at_least(Severity.WARNING)
+    }
+
+
+def fixable_rules(pipeline):
+    return [
+        d for d in lint_pipeline(pipeline) if d.rule in ("RPL301", "RPL302")
+    ]
+
+
+@given(pipeline=fixable_pipelines())
+@settings(max_examples=50, deadline=None)
+def test_fix_is_idempotent(pipeline):
+    once = apply_fixes(pipeline)
+    twice = apply_fixes(once.pipeline)
+    assert not twice.changed
+    assert twice.pipeline == once.pipeline
+
+
+@given(pipeline=fixable_pipelines())
+@settings(max_examples=50, deadline=None)
+def test_fix_reaches_fixpoint_unless_guarded(pipeline):
+    result = apply_fixes(pipeline)
+    if not result.skipped:
+        assert fixable_rules(result.pipeline) == []
+
+
+@given(pipeline=fixable_pipelines())
+@settings(max_examples=50, deadline=None)
+def test_fix_never_introduces_findings(pipeline):
+    result = apply_fixes(pipeline)
+    assert warning_keys(result.pipeline) <= warning_keys(pipeline)
+
+
+@given(pipeline=fixable_pipelines())
+@settings(max_examples=50, deadline=None)
+def test_fix_preserves_compute_stages(pipeline):
+    result = apply_fixes(pipeline)
+
+    def compute(p):
+        return sorted(
+            (s.name, s.kind, s.flops, s.reads, s.writes)
+            for s in p.stages
+            if s.flops > 0
+        )
+
+    assert compute(result.pipeline) == compute(pipeline)
+
+
+@given(pipeline=fixable_pipelines())
+@settings(max_examples=50, deadline=None)
+def test_fix_only_removes_copies(pipeline):
+    result = apply_fixes(pipeline)
+    before = {s.name for s in pipeline.stages}
+    after = {s.name for s in result.pipeline.stages}
+    assert after <= before
+    by_name = {s.name: s for s in pipeline.stages}
+    for removed in before - after:
+        assert by_name[removed].kind.value == "copy"

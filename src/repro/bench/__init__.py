@@ -19,6 +19,7 @@ from repro.bench.schema import (
     BENCH_SCHEMA,
     Comparison,
     MetricDelta,
+    comparable_view,
     compare_reports,
     validate_report,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "Comparison",
     "MetricDelta",
     "collect_report",
+    "comparable_view",
     "compare_reports",
     "machine_fingerprint",
     "summarize",

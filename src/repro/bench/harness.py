@@ -14,6 +14,13 @@ Three metric families, all wall-clock seconds (lower is better):
   ``--jobs 4``.  Quick mode measures a fixed 8-benchmark subset at
   ``--jobs 1`` only (distinct metric keys, so full baselines remain
   comparable).
+* **Paired sweep** (``sweep.paired.wall_s``) — the quick subset's
+  copy/limited-copy pairs simulated back to back in-process with no
+  result cache: isolates the cross-version stage-memo win
+  (:mod:`repro.sim.memo`) from cache and scheduling overheads.  The
+  shared memo is cleared inside the measured function, so every rep sees
+  the same deterministic hit pattern; the observed hit fraction is
+  reported as ``derived["memo.hit_rate"]``.
 * **Cache hit-path latency** — p50/p95 of loading one stored sweep-cache
   entry back from disk.
 
@@ -41,6 +48,7 @@ from repro.config.system import discrete_gpu_system, heterogeneous_processor
 from repro.experiments.parallel import COPY, LIMITED, _simulate_version, _system_for
 from repro.experiments.runner import DEFAULT_BENCH_SCALE, SweepRunner
 from repro.sim.engine import SimOptions
+from repro.sim.memo import clear_shared_stage_memo, stage_memo_snapshot
 from repro.sim.resultcache import ResultCache, cache_key
 from repro.workloads import registry
 
@@ -82,6 +90,8 @@ class BenchConfig:
     seed: int = 0
     reps: int = 5
     quick: bool = False
+    #: Stage-memoization mode of the measured runs ("auto"/"on"/"off").
+    stage_memo: str = "auto"
     #: Benchmarks of the single-run throughput metric.
     benchmarks: Tuple[str, ...] = BENCH_BENCHMARKS
     #: Benchmarks of the quick-subset sweep metric.
@@ -100,6 +110,7 @@ class BenchConfig:
             "seed": self.seed,
             "reps": self.effective_reps(),
             "quick": self.quick,
+            "stage_memo": self.stage_memo,
             "benchmarks": list(self.benchmarks),
             "quick_sweep": list(self.quick_sweep),
             "jobs": list(self.jobs),
@@ -153,11 +164,22 @@ def git_sha(repo_dir: Optional[Path] = None) -> Optional[str]:
 
 
 def _options(config: BenchConfig, impl: str) -> SimOptions:
-    return SimOptions(scale=config.scale, seed=config.seed, engine_impl=impl)
+    return SimOptions(
+        scale=config.scale,
+        seed=config.seed,
+        engine_impl=impl,
+        stage_memo=config.stage_memo,
+    )
 
 
 def _run_set(config: BenchConfig, impl: str) -> None:
-    """Simulate the fixed benchmark set once (both versions)."""
+    """Simulate the fixed benchmark set once (both versions).
+
+    The shared stage memo is cleared first, so every timed rep starts
+    cold and sees only the deterministic *intra-set* hits a real cold run
+    would — not leftovers from a previous rep or metric.
+    """
+    clear_shared_stage_memo()
     discrete = discrete_gpu_system()
     heterogeneous = heterogeneous_processor()
     options = _options(config, impl)
@@ -185,6 +207,7 @@ def _sweep_once(
     jobs: int,
     cache_dir: Path,
 ) -> None:
+    clear_shared_stage_memo()  # cold phases start memo-cold, deterministically
     runner = SweepRunner(
         options=_options(config, "fast"),
         parallel=jobs,
@@ -212,6 +235,43 @@ def sweep_metrics(config: BenchConfig, clock: Clock) -> Dict[str, Any]:
                     clock,
                 )
     return metrics
+
+
+def paired_sweep_metrics(
+    config: BenchConfig, clock: Clock
+) -> Tuple[Dict[str, Any], float]:
+    """Back-to-back copy/limited pairs in-process, no result cache.
+
+    This is the tentpole metric of the stage memo: the limited-copy run of
+    each pair replays every stage whose access stream and incoming state
+    it shares with the copy run, so the pair costs less than two
+    independent simulations.  Returns the metric dict plus the observed
+    memo hit fraction (0.0 when memoization is off), which
+    :func:`collect_report` surfaces as ``derived["memo.hit_rate"]``.
+    """
+    discrete = discrete_gpu_system()
+    heterogeneous = heterogeneous_processor()
+    options = _options(config, "fast")
+    specs = [registry.get(name) for name in config.quick_sweep]
+
+    def run_pairs() -> None:
+        clear_shared_stage_memo()
+        for spec in specs:
+            for version in (COPY, LIMITED):
+                system = _system_for(version, discrete, heterogeneous)
+                _simulate_version(spec, version, system, options)
+
+    run_pairs()  # warm module state out of the timing
+    before = stage_memo_snapshot()
+    metrics = {
+        "sweep.paired.wall_s": measure(
+            run_pairs, config.effective_reps(), clock
+        )
+    }
+    hits = stage_memo_snapshot()[0] - before[0]
+    misses = stage_memo_snapshot()[1] - before[1]
+    lookups = hits + misses
+    return metrics, (hits / lookups if lookups else 0.0)
 
 
 def hit_path_metrics(config: BenchConfig, clock: Clock) -> Dict[str, Any]:
@@ -254,19 +314,28 @@ def collect_report(
     clock: Clock = time.perf_counter,
     now: Callable[[], float] = time.time,
 ) -> Dict[str, Any]:
-    """Run every measurement; return the schema-versioned report dict."""
+    """Run every measurement; return the schema-versioned report dict.
+
+    The timestamp lives under ``meta`` — the one sub-object excluded from
+    comparison — so two runs of identical timings produce byte-identical
+    comparable payloads (the CLI tests exploit this with a fake clock).
+    """
     metrics: Dict[str, Any] = {}
     metrics.update(single_run_metrics(config, clock))
     metrics.update(hit_path_metrics(config, clock))
+    paired, hit_rate = paired_sweep_metrics(config, clock)
+    metrics.update(paired)
     metrics.update(sweep_metrics(config, clock))
+    derived = _derived(metrics, config)
+    derived["memo.hit_rate"] = hit_rate
     return {
         "schema": BENCH_SCHEMA,
-        "created_unix": float(now()),
         "git_sha": git_sha(),
         "machine": machine_fingerprint(),
         "config": config.to_dict(),
         "metrics": metrics,
-        "derived": _derived(metrics, config),
+        "derived": derived,
+        "meta": {"created_unix": float(now())},
     }
 
 

@@ -6,7 +6,6 @@ can be detected instead of mis-read.  Layout::
 
     {
       "schema": "repro.bench/v1",
-      "created_unix": 1754630000.0,
       "git_sha": "abc123..." | null,
       "machine": {"platform": ..., "python": ..., "numpy": ..., "cpus": N},
       "config": {"scale": ..., "reps": ..., "quick": ..., ...},
@@ -19,8 +18,16 @@ can be detected instead of mis-read.  Layout::
         },
         ...
       },
-      "derived": {"single_run_speedup": ..., ...}
+      "derived": {"single_run_speedup": ..., "memo.hit_rate": ..., ...},
+      "meta": {"created_unix": 1754630000.0}
     }
+
+``meta`` holds run provenance that two otherwise-identical runs are
+*expected* to disagree on (currently the timestamp); it never enters a
+comparison, and :func:`comparable_view` strips it so reports produced
+under a deterministic clock are byte-stable.  Reports written before the
+``meta`` sub-object existed carried ``created_unix`` at the top level;
+:func:`validate_report` accepts either spelling.
 
 Every metric is wall-clock seconds and *lower is better*; regression
 comparison is on ``p50`` with a multiplicative tolerance.  Metric keys are
@@ -39,7 +46,7 @@ from typing import Any, Dict, List, Tuple
 BENCH_SCHEMA = "repro.bench/v1"
 
 #: Required top-level keys of a report.
-_TOP_KEYS = ("schema", "created_unix", "git_sha", "machine", "config", "metrics")
+_TOP_KEYS = ("schema", "git_sha", "machine", "config", "metrics")
 
 #: Required keys of one metric record.
 _METRIC_KEYS = ("unit", "reps", "p50", "p95", "min", "mean", "samples")
@@ -56,6 +63,14 @@ def validate_report(report: Any) -> List[str]:
     schema = report.get("schema")
     if "schema" in report and schema != BENCH_SCHEMA:
         errors.append(f"schema mismatch: expected {BENCH_SCHEMA!r}, got {schema!r}")
+    meta = report.get("meta")
+    if meta is not None and not isinstance(meta, dict):
+        errors.append("meta must be an object")
+    created = (meta or {}).get("created_unix", report.get("created_unix"))
+    if created is None:
+        errors.append("missing created_unix (in meta or, legacy, top-level)")
+    elif not isinstance(created, (int, float)):
+        errors.append("created_unix must be numeric")
     metrics = report.get("metrics")
     if metrics is not None:
         if not isinstance(metrics, dict) or not metrics:
@@ -90,6 +105,17 @@ def _validate_metric(name: str, record: Any) -> List[str]:
         if stat in record and not isinstance(value, (int, float)):
             errors.append(f"metric {name!r} {stat} must be numeric")
     return errors
+
+
+def comparable_view(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The report minus run provenance: what comparisons (and byte-level
+    determinism checks) may look at.  Strips ``meta`` and the legacy
+    top-level ``created_unix``."""
+    return {
+        key: value
+        for key, value in report.items()
+        if key not in ("meta", "created_unix")
+    }
 
 
 @dataclass(frozen=True)

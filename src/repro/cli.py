@@ -102,7 +102,8 @@ def _options(args: argparse.Namespace) -> SimOptions:
     return SimOptions(
         scale=args.scale,
         seed=args.seed,
-        engine_impl=getattr(args, "engine", "reference"),
+        engine_impl=getattr(args, "engine", "fast"),
+        stage_memo=getattr(args, "stage_memo", "auto"),
     )
 
 
@@ -310,7 +311,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 2
 
     config = BenchConfig(
-        scale=args.scale, seed=args.seed, reps=args.reps, quick=args.quick
+        scale=args.scale,
+        seed=args.seed,
+        reps=args.reps,
+        quick=args.quick,
+        stage_memo=args.stage_memo,
     )
     report = collect_report(config)
     print(summarize(report))
@@ -722,9 +727,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--engine",
             choices=("reference", "fast"),
-            default="reference",
-            help="cache-simulation implementation; 'fast' is the "
-            "bit-identical vectorized engine (see docs/BENCHMARKING.md)",
+            default="fast",
+            help="cache-simulation implementation (default: fast, the "
+            "vectorized engine; 'reference' opts back into the "
+            "bit-identical readable baseline — see docs/BENCHMARKING.md)",
+        )
+        p.add_argument(
+            "--stage-memo",
+            choices=("auto", "on", "off"),
+            default="auto",
+            help="stage-level memoization: replay repeated (stage, cache "
+            "state) executions instead of re-simulating them; 'auto' "
+            "enables it with the fast engine (default), results are "
+            "bit-identical either way (docs/MODELING.md)",
         )
         p.add_argument(
             "--jobs",
@@ -851,6 +866,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="smoke mode: at most 2 reps and only the 8-benchmark sweep "
         "subset (metric keys stay comparable to a full baseline)")
+    bench_p.add_argument(
+        "--stage-memo",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="stage-level memoization for the measured runs (default: "
+        "auto = on with the fast engine)")
     bench_p.add_argument(
         "--compare", default=None, metavar="BASELINE.json",
         help="compare against a saved report; exit 1 when any shared "

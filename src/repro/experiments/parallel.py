@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config.system import SystemConfig
 from repro.pipeline.transforms import remove_copies
 from repro.sim.engine import SimOptions, simulate
+from repro.sim.memo import stage_memo_snapshot
 from repro.sim.observe.metrics import MetricsRegistry
 from repro.sim.resultcache import ResultCache, cache_key
 from repro.sim.results import SimResult
@@ -178,6 +179,13 @@ class SweepMetrics:
     #: How many sweep invocations this object aggregates (grows via
     #: :meth:`merge`).
     sweeps: int = 1
+    #: Stage-level memoization traffic (repro.sim.memo) of the fresh
+    #: simulations this sweep launched: per-stage memory steps replayed
+    #: instead of recomputed, and steps computed and recorded.  Pool
+    #: workers count their own (per-process) memos; the serial path counts
+    #: the parent's shared memo.
+    stage_memo_hits: int = 0
+    stage_memo_misses: int = 0
     failures: List[TaskFailure] = field(default_factory=list)
 
     @property
@@ -205,6 +213,8 @@ class SweepMetrics:
         self.retries += other.retries
         self.pool_rebuilds += other.pool_rebuilds
         self.sweeps += other.sweeps
+        self.stage_memo_hits += other.stage_memo_hits
+        self.stage_memo_misses += other.stage_memo_misses
         self.failures.extend(other.failures)
 
     def format_line(self) -> str:
@@ -215,6 +225,8 @@ class SweepMetrics:
         ]
         if self.memo_hits:
             parts.append(f"{self.memo_hits} memo hits")
+        if self.stage_memo_hits:
+            parts.append(f"{self.stage_memo_hits} stage-memo hits")
         if self.retries:
             parts.append(f"{self.retries} retries")
         if self.failures:
@@ -259,17 +271,32 @@ def _simulate_version(
     return result, time.perf_counter() - start
 
 
+def _simulate_with_memo(
+    spec: BenchmarkSpec,
+    version: str,
+    system: SystemConfig,
+    options: SimOptions,
+) -> Tuple[SimResult, float, Tuple[int, int]]:
+    """:func:`_simulate_version` plus the run's stage-memo (hits, misses)."""
+    before = stage_memo_snapshot()
+    result, wall_s = _simulate_version(spec, version, system, options)
+    after = stage_memo_snapshot()
+    return result, wall_s, (after[0] - before[0], after[1] - before[1])
+
+
 def _worker(
     payload: Tuple[str, Optional[bytes], str, SystemConfig, SimOptions],
-) -> Tuple[str, str, SimResult, float]:
+) -> Tuple[str, str, SimResult, float, Tuple[int, int]]:
     """Top-level (picklable) task body executed in a pool worker."""
     full_name, spec_blob, version, system, options = payload
     if spec_blob is None:
         spec = registry.get(full_name)
     else:
         spec = pickle.loads(spec_blob)
-    result, wall_s = _simulate_version(spec, version, system, options)
-    return full_name, version, result, wall_s
+    result, wall_s, memo_delta = _simulate_with_memo(
+        spec, version, system, options
+    )
+    return full_name, version, result, wall_s, memo_delta
 
 
 def _dispatchable(task: SweepTask) -> Optional[bytes]:
@@ -348,11 +375,21 @@ def run_tasks(
         else:
             pending.append((task, key))
 
-    def finish(task: SweepTask, key: str, result: SimResult, wall_s: float) -> None:
+    def finish(
+        task: SweepTask,
+        key: str,
+        result: SimResult,
+        wall_s: float,
+        memo_delta: Tuple[int, int] = (0, 0),
+    ) -> None:
         results[(task.full_name, task.version)] = result
         record(task, result)
         metrics.launched += 1
         metrics.serial_estimate_s += wall_s
+        metrics.stage_memo_hits += memo_delta[0]
+        metrics.stage_memo_misses += memo_delta[1]
+        if metrics_registry is not None:
+            metrics_registry.record_stage_memo(memo_delta[0], memo_delta[1])
         if cache is not None:
             cache.store(key, result, sim_wall_s=wall_s)
 
@@ -502,7 +539,7 @@ def run_tasks(
                     for future in done:
                         state = inflight.pop(future)
                         try:
-                            _, _, result, wall_s = future.result()
+                            _, _, result, wall_s, memo_delta = future.result()
                         except BrokenExecutor as exc:
                             broken = True
                             requeue(
@@ -521,7 +558,7 @@ def run_tasks(
                                 FATE_ALIVE,
                             )
                         else:
-                            finish(state.task, state.key, result, wall_s)
+                            finish(state.task, state.key, result, wall_s, memo_delta)
                 elif not inflight and waiting and not stop and not broken:
                     delay = max(
                         0.0, min(s.ready_at for s in waiting) - time.monotonic()
@@ -541,11 +578,11 @@ def run_tasks(
                         salvaged = False
                         if future.done():
                             try:
-                                _, _, result, wall_s = future.result()
+                                _, _, result, wall_s, memo_delta = future.result()
                             except BaseException:
                                 pass
                             else:
-                                finish(state.task, state.key, result, wall_s)
+                                finish(state.task, state.key, result, wall_s, memo_delta)
                                 salvaged = True
                         if not salvaged:
                             requeue(
@@ -585,7 +622,7 @@ def run_tasks(
                         for future, state in list(inflight.items()):
                             if future.done():
                                 try:
-                                    _, _, result, wall_s = future.result()
+                                    _, _, result, wall_s, memo_delta = future.result()
                                 except BaseException:
                                     requeue(
                                         state,
@@ -595,7 +632,11 @@ def run_tasks(
                                     )
                                 else:
                                     finish(
-                                        state.task, state.key, result, wall_s
+                                        state.task,
+                                        state.key,
+                                        result,
+                                        wall_s,
+                                        memo_delta,
                                     )
                             else:
                                 requeue_free(state)
@@ -621,7 +662,7 @@ def run_tasks(
             while True:
                 state.attempts += 1
                 try:
-                    result, wall_s = _simulate_version(
+                    result, wall_s, memo_delta = _simulate_with_memo(
                         state.task.spec, state.task.version, system, options
                     )
                 except Exception as exc:
@@ -638,7 +679,7 @@ def run_tasks(
                     if delay:
                         time.sleep(delay)
                 else:
-                    finish(state.task, state.key, result, wall_s)
+                    finish(state.task, state.key, result, wall_s, memo_delta)
                     break
 
     serial_states = [_TaskState(task, key) for task, key in local]

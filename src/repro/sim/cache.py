@@ -183,3 +183,45 @@ class SetAssocCache:
         self._resident = set()
         self.stats.writebacks += len(written)
         return written
+
+    # -- state snapshot (stage memoization) ------------------------------------
+
+    def state_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical state snapshot for :mod:`repro.sim.memo`.
+
+        Returns (per-set line counts, block ids concatenated in set-index
+        order each LRU->MRU, matching dirty flags).  The encoding is
+        implementation-independent: whenever this model and
+        :class:`repro.sim.fastcache.FastSetAssocCache` are in the same
+        logical state they produce byte-identical snapshots, so memoized
+        stage entries are shared between the two.
+        """
+        lengths = np.fromiter(
+            (len(lru) for lru in self._sets), np.int32, count=self.num_sets
+        )
+        total = int(lengths.sum())
+        blocks = np.fromiter(
+            (block for lru in self._sets for block in lru), np.int64, count=total
+        )
+        dirty_set = self._dirty
+        dirty = np.fromiter(
+            (block in dirty_set for lru in self._sets for block in lru),
+            bool,
+            count=total,
+        )
+        return lengths, blocks, dirty
+
+    def restore_state(
+        self, state: Tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> None:
+        """Adopt a :meth:`state_arrays` snapshot (stats are untouched)."""
+        lengths, blocks, dirty = state
+        block_list = blocks.tolist()
+        sets: List[List[int]] = []
+        pos = 0
+        for count in lengths.tolist():
+            sets.append(block_list[pos : pos + count])
+            pos += count
+        self._sets = sets
+        self._resident = set(block_list)
+        self._dirty = set(blocks[dirty].tolist())

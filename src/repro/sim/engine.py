@@ -41,6 +41,15 @@ from repro.sim.observe.events import (
     SpanEvent,
     TraceEvent,
 )
+from repro.sim.memo import (
+    StageEntry,
+    StageMemo,
+    apply_stats_delta,
+    shared_stage_memo,
+    states_digest,
+    stats_delta,
+    stats_tuple,
+)
 from repro.sim.observe.sinks import TraceSink
 from repro.sim.pagefault import PageFaultModel, premapped_pages
 from repro.sim.pcie import CopyEngine
@@ -84,13 +93,21 @@ class SimOptions:
         line_bytes: cache line size (Table I: 128B).
         collect_log: keep the full off-chip log (needed for Fig. 9); can be
             disabled to save memory on very large runs.
-        engine_impl: cache-simulation implementation — ``"reference"`` (the
-            plain-Python model) or ``"fast"`` (the vectorized twin of
-            :mod:`repro.sim.fastcache`, plus per-stage trace memoization).
-            The two produce bit-identical SimResults (enforced by the
-            differential test suite), so the persistent result cache is
-            shared between them; ``fast`` is purely a wall-clock
-            optimization measured by ``repro bench``.
+        engine_impl: cache-simulation implementation — ``"fast"`` (the
+            default: the vectorized engine of :mod:`repro.sim.fastcache`,
+            plus per-stage trace memoization) or ``"reference"`` (the
+            plain-Python model, selectable as the opt-out).  The two
+            produce bit-identical SimResults (enforced by the differential
+            test suite), so the persistent result cache is shared between
+            them; the choice is purely a wall-clock trade-off measured by
+            ``repro bench``.
+        stage_memo: stage-level memoization (:mod:`repro.sim.memo`) —
+            ``"auto"`` (the default) enables it exactly when
+            ``engine_impl == "fast"``; ``"on"`` / ``"off"`` force it for
+            either implementation.  Memoized runs are bit-exact with
+            memo-off runs (timing and trace events are always recomputed
+            live from the replayed counters), so like ``engine_impl`` the
+            knob is excluded from result-cache keys.
     """
 
     seed: int = 0
@@ -100,7 +117,8 @@ class SimOptions:
     # Opt-in row-buffer-aware DRAM efficiency (see repro.sim.dram_row); the
     # calibrated default is the paper's flat ~82%-of-pin model.
     dram_row_model: bool = False
-    engine_impl: str = "reference"
+    engine_impl: str = "fast"
+    stage_memo: str = "auto"
 
 
 class Engine:
@@ -147,6 +165,21 @@ class Engine:
             coherent=coherent,
             impl=options.engine_impl,
         )
+        if options.stage_memo not in ("auto", "on", "off"):
+            raise ValueError(
+                f"unknown stage_memo {options.stage_memo!r}; "
+                "choose from 'auto', 'on', 'off'"
+            )
+        # Stage-level memoization (repro.sim.memo): process-wide, shared
+        # across engine instances, systems, and the copy / limited-copy
+        # pair.  "auto" follows the engine impl so the reference engine
+        # stays a memo-free baseline by default.
+        use_stage_memo = options.stage_memo == "on" or (
+            options.stage_memo == "auto" and options.engine_impl == "fast"
+        )
+        self.stage_memo: Optional[StageMemo] = (
+            shared_stage_memo() if use_stage_memo else None
+        )
         self.memory = MemorySystem(system)
         self.copy_engine = CopyEngine(system)
         self.faults: Optional[PageFaultModel] = None
@@ -183,6 +216,212 @@ class Engine:
     def _emit(self, event: TraceEvent) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+    # -- stage memoization -----------------------------------------------------
+    #
+    # Each stage's *memory step* — the page-fault touch, the stream's trip
+    # through the cache hierarchy, and the off-chip log appends it produces
+    # — is a pure function of (access stream, cache configs, incoming
+    # cache state, page-table state).  The helpers below key it by exactly
+    # those inputs and replay the recorded outcome on a repeat; timing,
+    # scheduling, and trace events are cheap arithmetic over the replayed
+    # counters and always run live, which keeps memoized runs bit-exact
+    # with memo-off runs.  See repro.sim.memo.
+
+    def _memo_caches(self, component: Optional[Component]) -> tuple:
+        """The caches one memory step can read or mutate, in fixed order."""
+        if component is None:  # copy / drain: both domains, both levels
+            return (
+                self.caches.cpu.l1,
+                self.caches.cpu.l2,
+                self.caches.gpu.l1,
+                self.caches.gpu.l2,
+            )
+        domain = self.caches.domain_for(component)
+        involved = [domain.l1, domain.l2]
+        peer = self.caches.peer_of(component)
+        if peer is not None:
+            involved += [peer.l1, peer.l2]
+        return tuple(involved)
+
+    def _memo_key(
+        self, tag: tuple, stream_key: Optional[tuple], involved: tuple,
+        with_faults: bool,
+    ) -> tuple:
+        # ENGINE_VERSION is read dynamically (module global) so a version
+        # bump invalidates live stage memos exactly like the result cache.
+        fault_key = None
+        if with_faults and self.faults is not None:
+            fault_key = (
+                self.faults.config,
+                self.faults.serialization_heavy,
+                self.faults.layout.blocks_per_page,
+            ) + self.faults.state_key()
+        return (
+            ENGINE_VERSION,
+            tag,
+            stream_key,
+            self.options.line_bytes,
+            self.caches.coherent,
+            tuple(cache.config for cache in involved),
+            fault_key,
+            states_digest([cache.state_arrays() for cache in involved]),
+        )
+
+    def _memo_record(
+        self,
+        key: tuple,
+        involved: tuple,
+        before_stats: list,
+        mark: int,
+        mem: Optional[DomainResult] = None,
+        fault: Optional[tuple] = None,
+        aux: tuple = (),
+    ) -> None:
+        assert self.stage_memo is not None
+        self.stage_memo.store(
+            key,
+            StageEntry(
+                log_parts=self.caches.log.parts_since(mark),
+                mem=None
+                if mem is None
+                else (
+                    mem.requests,
+                    mem.offchip_reads,
+                    mem.offchip_writes,
+                    mem.onchip_transfers,
+                    mem.offchip_blocks,
+                ),
+                fault=fault,
+                cache_states=tuple(c.state_arrays() for c in involved),
+                stats_deltas=tuple(
+                    stats_delta(before, stats_tuple(cache))
+                    for before, cache in zip(before_stats, involved)
+                ),
+                aux=aux,
+            ),
+        )
+
+    def _memo_replay(
+        self, entry: StageEntry, involved: tuple, ordinal: int
+    ) -> Optional[DomainResult]:
+        self.caches.log.replay(entry.log_parts, ordinal)
+        for cache, state, delta in zip(
+            involved, entry.cache_states, entry.stats_deltas
+        ):
+            cache.restore_state(state)
+            apply_stats_delta(cache, delta)
+        if entry.fault is not None and self.faults is not None:
+            self.faults.replay(entry.fault[3])
+        if entry.mem is None:
+            return None
+        return DomainResult(*entry.mem)
+
+    def _compute_memory_live(
+        self,
+        stage: Stage,
+        stream: AccessStream,
+        component: Component,
+        ordinal: int,
+    ) -> Tuple[DomainResult, Optional[tuple]]:
+        """One compute stage's memory step; returns (mem, fault tuple)."""
+        fault_tuple: Optional[tuple] = None
+        if self.faults is not None and len(stream):
+            fault = self.faults.touch(stream.blocks, stage.kind)
+            zeroed = fault.zeroed_blocks
+            if len(zeroed) and self.system.page_faults.enabled:
+                # The CPU zeroes newly mapped pages; attribute the writes to
+                # the CPU component (the srad access-shifting effect).
+                # Zeroing traffic counts as CPU memory accesses but not as
+                # core-touched footprint.
+                self.caches.log.append(
+                    zeroed,
+                    np.ones(len(zeroed), dtype=bool),
+                    ordinal,
+                    Component.CPU,
+                )
+                bpp = self.faults.layout.blocks_per_page
+                new_pages = (zeroed[::bpp] // bpp).astype(np.int64)
+            else:
+                new_pages = np.empty(0, dtype=np.int64)
+            fault_tuple = (
+                fault.faults,
+                fault.service_time_s,
+                zeroed,
+                new_pages,
+            )
+        mem = self.caches.process_compute(stream, ordinal, component)
+        return mem, fault_tuple
+
+    def _compute_memory_step(
+        self,
+        stage: Stage,
+        stream: AccessStream,
+        component: Component,
+        ordinal: int,
+    ) -> Tuple[DomainResult, float, int, int]:
+        """Memoized compute memory step.
+
+        Returns (mem, fault service seconds, fault count, zeroed blocks).
+        """
+        memo = self.stage_memo
+        if memo is None or not len(stream):
+            mem, fault_tuple = self._compute_memory_live(
+                stage, stream, component, ordinal
+            )
+        else:
+            involved = self._memo_caches(component)
+            key = self._memo_key(
+                ("compute", component.value),
+                self.tracegen._stage_key(stage),
+                involved,
+                with_faults=True,
+            )
+            entry = memo.lookup(key)
+            if entry is not None:
+                mem = self._memo_replay(entry, involved, ordinal)
+                fault_tuple = entry.fault
+            else:
+                mark = self.caches.log.mark()
+                before = [stats_tuple(cache) for cache in involved]
+                mem, fault_tuple = self._compute_memory_live(
+                    stage, stream, component, ordinal
+                )
+                self._memo_record(
+                    key, involved, before, mark, mem=mem, fault=fault_tuple
+                )
+        if fault_tuple is None:
+            return mem, 0.0, 0, 0
+        return mem, fault_tuple[1], fault_tuple[0], len(fault_tuple[2])
+
+    def _copy_memory_step(
+        self,
+        stage: Stage,
+        src_blocks: np.ndarray,
+        dst_blocks: np.ndarray,
+        ordinal: int,
+    ) -> DomainResult:
+        """Memoized copy (DMA) memory step."""
+        memo = self.stage_memo
+        if memo is None or not (len(src_blocks) + len(dst_blocks)):
+            return self.caches.process_copy(src_blocks, dst_blocks, ordinal)
+        involved = self._memo_caches(None)
+        key = self._memo_key(
+            ("copy",),
+            self.tracegen._stage_key(stage),
+            involved,
+            with_faults=False,
+        )
+        entry = memo.lookup(key)
+        if entry is not None:
+            mem = self._memo_replay(entry, involved, ordinal)
+            assert mem is not None
+            return mem
+        mark = self.caches.log.mark()
+        before = [stats_tuple(cache) for cache in involved]
+        mem = self.caches.process_copy(src_blocks, dst_blocks, ordinal)
+        self._memo_record(key, involved, before, mark, mem=mem)
+        return mem
 
     # -- scheduling ------------------------------------------------------------
 
@@ -342,7 +581,7 @@ class Engine:
         if stage.kind is StageKind.COPY:
             src_blocks = stream.blocks[~stream.is_write]
             dst_blocks = stream.blocks[stream.is_write]
-            mem = self.caches.process_copy(src_blocks, dst_blocks, ordinal)
+            mem = self._copy_memory_step(stage, src_blocks, dst_blocks, ordinal)
             share = self.memory.effective_bandwidth(component, active)
             pool_fraction = share.bytes_per_second / max(
                 self.memory.pool_of(component).achievable_bandwidth, 1e-30
@@ -444,27 +683,9 @@ class Engine:
                 flops=0.0,
             )
 
-        fault_service = 0.0
-        fault_count = 0
-        zeroed_count = 0
-        if self.faults is not None and len(stream):
-            fault = self.faults.touch(stream.blocks, stage.kind)
-            fault_service = fault.service_time_s
-            fault_count = fault.faults
-            if len(fault.zeroed_blocks) and self.system.page_faults.enabled:
-                zeroed_count = len(fault.zeroed_blocks)
-                # The CPU zeroes newly mapped pages; attribute the writes to
-                # the CPU component (the srad access-shifting effect).
-                # Zeroing traffic counts as CPU memory accesses (the srad
-                # access-shifting effect) but not as core-touched footprint.
-                self.caches.log.append(
-                    fault.zeroed_blocks,
-                    np.ones(len(fault.zeroed_blocks), dtype=bool),
-                    ordinal,
-                    Component.CPU,
-                )
-
-        mem = self.caches.process_compute(stream, ordinal, component)
+        mem, fault_service, fault_count, zeroed_count = self._compute_memory_step(
+            stage, stream, component, ordinal
+        )
         share = self.memory.effective_bandwidth(component, active)
         share = self._refine_bandwidth(share, component, mem, ordinal, start)
         if stage.kind is StageKind.GPU_KERNEL and stage.resources is not None:
@@ -613,32 +834,60 @@ class Engine:
     def _drain_caches(self, ordinal: int, roi_s: float = 0.0) -> None:
         """Flush dirty lines at ROI end so final writes reach the log.
 
-        Tracing hook point: each cache's drain volume is emitted as a
-        ``dram.writes`` counter with source ``drain`` at ``t == roi_s``.
+        Memoized like any other memory step (keyed purely by cache state;
+        the per-cache writeback arrays ride along as the entry's ``aux``
+        so trace events can be re-emitted live).  Tracing hook point: each
+        cache's drain volume is emitted as a ``dram.writes`` counter with
+        source ``drain`` at ``t == roi_s``.
         """
-        for domain, comp in (
-            (self.caches.cpu, Component.CPU),
-            (self.caches.gpu, Component.GPU),
-        ):
-            for cache in (domain.l1, domain.l2):
-                written = cache.drain()
-                if written:
-                    arr = np.asarray(written, dtype=np.int64)
-                    self.caches.log.append(
-                        arr, np.ones(len(arr), dtype=bool), ordinal, comp
-                    )
-                    if self._tracing:
-                        self._emit(
-                            CounterEvent(
-                                name=CTR_DRAM_WRITES,
-                                component=comp.value,
-                                t_s=roi_s,
-                                value=len(written),
-                                ordinal=ordinal,
-                                source=SRC_DRAIN,
-                                args={"cache": cache.name},
-                            )
+        pairs = (
+            (self.caches.cpu.l1, Component.CPU),
+            (self.caches.cpu.l2, Component.CPU),
+            (self.caches.gpu.l1, Component.GPU),
+            (self.caches.gpu.l2, Component.GPU),
+        )
+        memo = self.stage_memo
+        if memo is None:
+            written_per_cache = self._drain_live(pairs, ordinal)
+        else:
+            involved = tuple(cache for cache, _ in pairs)
+            key = self._memo_key(("drain",), None, involved, with_faults=False)
+            entry = memo.lookup(key)
+            if entry is not None:
+                self._memo_replay(entry, involved, ordinal)
+                written_per_cache = list(entry.aux)
+            else:
+                mark = self.caches.log.mark()
+                before = [stats_tuple(cache) for cache in involved]
+                written_per_cache = self._drain_live(pairs, ordinal)
+                self._memo_record(
+                    key, involved, before, mark, aux=tuple(written_per_cache)
+                )
+        if self._tracing:
+            for (cache, comp), written in zip(pairs, written_per_cache):
+                if len(written):
+                    self._emit(
+                        CounterEvent(
+                            name=CTR_DRAM_WRITES,
+                            component=comp.value,
+                            t_s=roi_s,
+                            value=len(written),
+                            ordinal=ordinal,
+                            source=SRC_DRAIN,
+                            args={"cache": cache.name},
                         )
+                    )
+
+    def _drain_live(self, pairs: tuple, ordinal: int) -> list:
+        written_per_cache = []
+        for cache, comp in pairs:
+            arr = np.asarray(cache.drain(), dtype=np.int64)
+            if len(arr):
+                self.caches.log.append(
+                    arr, np.ones(len(arr), dtype=bool), ordinal, comp
+                )
+            written_per_cache.append(arr)
+        return written_per_cache
 
 
 def simulate(

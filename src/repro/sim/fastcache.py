@@ -467,6 +467,55 @@ class FastSetAssocCache:
         self.stats.writebacks += len(written)
         return written
 
+    # -- state snapshot (stage memoization) ------------------------------------
+
+    def state_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical state snapshot for :mod:`repro.sim.memo`.
+
+        Identical encoding to the reference implementation's
+        ``state_arrays`` (per-set line counts, block ids in set-index order
+        each LRU -> MRU, matching dirty flags): the set-major
+        ``OrderedDict`` layout makes this a straight flatten, and equal
+        logical states produce byte-identical snapshots across impls, so
+        memoized stage entries are shared between them.
+        """
+        lengths = np.fromiter(
+            (len(lru) for lru in self._sets), np.int32, count=self.num_sets
+        )
+        total = int(lengths.sum())
+        blocks = np.fromiter(
+            (block for lru in self._sets for block in lru),
+            np.int64,
+            count=total,
+        )
+        dirty = np.fromiter(
+            (flag for lru in self._sets for flag in lru.values()),
+            bool,
+            count=total,
+        )
+        return lengths, blocks, dirty
+
+    def restore_state(
+        self, state: Tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> None:
+        """Adopt a :meth:`state_arrays` snapshot (stats are untouched)."""
+        lengths, blocks, dirty = state
+        block_list = blocks.tolist()
+        dirty_list = dirty.tolist()
+        sets: List["OrderedDict[int, bool]"] = []
+        pos = 0
+        for count in lengths.tolist():
+            sets.append(
+                OrderedDict(
+                    zip(
+                        block_list[pos : pos + count],
+                        dirty_list[pos : pos + count],
+                    )
+                )
+            )
+            pos += count
+        self._sets = sets
+
 
 def _window_classify(
     pend: np.ndarray,
@@ -533,25 +582,56 @@ def _window_classify(
             residue_acc.append(distinct[unresolved])
 
     if residue_idx:
+        # Batched whole-gap pass: instead of marching every surviving row
+        # forward one fixed-width window per iteration (whose iteration
+        # count is set by the *longest* gap), gather each row's remaining
+        # gap columns in one flat ragged pass — row ids repeated per
+        # remaining column, per-row totals via one segmented reduceat —
+        # chunked so a single gather stays within ``_CHUNK_ELEMS``.
+        # Survivors of the first full-window pass carry fewer than
+        # ``assoc`` distinct blocks in their nearest ``window`` columns,
+        # so their gaps are overwhelmingly repeat-dominated and scanning
+        # them outright is cheaper than windowed early exit.  The budget
+        # check still precedes any scan work: a pathological stream aborts
+        # to the serial loop before state is touched, exactly as before.
         idx = np.concatenate(residue_idx)
         acc = np.concatenate(residue_acc)
-        offset = window
-        while len(idx):
-            budget -= len(idx) * window
-            if budget < 0:
-                return None
-            r = rows[idx]
-            gg = gaps[idx]
-            cols2 = offset + cols
-            within = cols2[None, :] < gg[:, None]
-            j = r[:, None] - 1 - cols2[None, :]
-            np.maximum(j, 0, out=j)
-            acc = acc + ((nextpos[j] >= p[idx, None]) & within).sum(axis=1)
-            proven_miss = acc >= assoc
-            scanned_all = gg <= offset + window
-            hit_out[idx[scanned_all & ~proven_miss]] = True
-            keep = ~proven_miss & ~scanned_all
-            idx = idx[keep]
-            acc = acc[keep]
-            offset += window
+        remaining = gaps[idx].astype(np.int64) - window
+        budget -= int(remaining.sum())
+        if budget < 0:
+            return None
+        bounds = np.zeros(len(idx) + 1, dtype=np.int64)
+        np.cumsum(remaining, out=bounds[1:])
+        r = rows[idx]
+        pv = p[idx]
+        total_rows = len(idx)
+        start_row = 0
+        while start_row < total_rows:
+            end_row = (
+                int(
+                    np.searchsorted(
+                        bounds,
+                        bounds[start_row] + _CHUNK_ELEMS,
+                        side="right",
+                    )
+                )
+                - 1
+            )
+            end_row = min(max(end_row, start_row + 1), total_rows)
+            seg = slice(start_row, end_row)
+            seg_bounds = bounds[start_row : end_row + 1] - bounds[start_row]
+            repeat = np.repeat(
+                np.arange(end_row - start_row, dtype=np.int64),
+                remaining[seg],
+            )
+            col = (
+                np.arange(int(seg_bounds[-1]), dtype=np.int64)
+                - seg_bounds[repeat]
+                + window
+            )
+            j = r[seg][repeat] - 1 - col
+            last = (nextpos[j] >= pv[seg][repeat]).astype(np.int64)
+            counts = acc[seg] + np.add.reduceat(last, seg_bounds[:-1])
+            hit_out[idx[seg]] = counts < assoc
+            start_row = end_row
     return hit_out

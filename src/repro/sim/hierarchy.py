@@ -73,6 +73,36 @@ class OffChipLog:
     def __len__(self) -> int:
         return sum(len(part) for part in self._blocks)
 
+    # -- delta capture (stage memoization) -------------------------------------
+
+    def mark(self) -> int:
+        """Position token delimiting the appends of one stage's memory step."""
+        return len(self._blocks)
+
+    def parts_since(
+        self, mark: int
+    ) -> Tuple[Tuple[np.ndarray, np.ndarray, int], ...]:
+        """The (blocks, is_write, component_code) parts appended since ``mark``.
+
+        The returned arrays are shared references into the log (never
+        mutated anywhere), so capturing a delta for :mod:`repro.sim.memo`
+        costs no copies; the per-part stage ordinal is deliberately dropped
+        — replays re-stamp parts with the replaying stage's ordinal.
+        """
+        return tuple(
+            (self._blocks[i], self._is_write[i], int(self._component[i][0]))
+            for i in range(mark, len(self._blocks))
+        )
+
+    def replay(
+        self,
+        parts: Tuple[Tuple[np.ndarray, np.ndarray, int], ...],
+        stage_ordinal: int,
+    ) -> None:
+        """Re-append a captured delta under a (possibly different) ordinal."""
+        for blocks, is_write, code in parts:
+            self.append(blocks, is_write, stage_ordinal, COMPONENT_BY_CODE[code])
+
     def arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """(blocks, is_write, stage_ordinal, component_code) in log order."""
         if not self._blocks:

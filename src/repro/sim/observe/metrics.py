@@ -68,6 +68,8 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._runs: Dict[Tuple[str, str], RunTraceSummary] = {}
         self._failures: Dict[Tuple[str, str], "TaskFailure"] = {}
+        self._stage_memo_hits = 0
+        self._stage_memo_misses = 0
 
     def record(self, benchmark: str, version: str, result: SimResult) -> None:
         self._runs[(benchmark, version)] = RunTraceSummary.from_result(
@@ -76,6 +78,24 @@ class MetricsRegistry:
         # A pair that eventually produced a result recovered: drop any
         # failure recorded for it by an earlier sweep.
         self._failures.pop((benchmark, version), None)
+
+    def record_stage_memo(self, hits: int, misses: int) -> None:
+        """Accumulate one run's stage-memo lookup counts.
+
+        Unlike run summaries these are *cumulative* across re-runs: a pair
+        simulated twice genuinely did two sets of lookups, and hit/miss
+        totals are throughput telemetry, not per-pair state.
+        """
+        self._stage_memo_hits += int(hits)
+        self._stage_memo_misses += int(misses)
+
+    @property
+    def stage_memo_hits(self) -> int:
+        return self._stage_memo_hits
+
+    @property
+    def stage_memo_misses(self) -> int:
+        return self._stage_memo_misses
 
     def record_failure(self, failure: "TaskFailure") -> None:
         """Remember a task that exhausted its retries (keyed like runs, so
@@ -108,6 +128,8 @@ class MetricsRegistry:
             "stages": 0.0,
             "violations": 0.0,
             "failed_runs": float(len(self._failures)),
+            "stage_memo_hits": float(self._stage_memo_hits),
+            "stage_memo_misses": float(self._stage_memo_misses),
         }
         for component in Component:
             totals[f"busy_{component.value}_s"] = 0.0

@@ -60,6 +60,31 @@ def premapped_pages(pipeline: Pipeline, layout: BufferLayout) -> Set[int]:
     return pages
 
 
+_TOKEN_MASK = (1 << 64) - 1
+
+
+def _pages_token(pages) -> int:
+    """Order-independent 64-bit token of a collection of page ids.
+
+    A splitmix64-style finalizer over each id, summed mod 2**64.  The sum
+    is commutative, so :class:`PageFaultModel` can maintain its page-table
+    token incrementally (adding each touch's new pages) and still agree
+    with a from-scratch fold over the mapped set — which is what lets
+    :mod:`repro.sim.memo` key stage entries on page-table state in O(new
+    pages) instead of O(mapped pages) per stage.
+    """
+    arr = np.fromiter(pages, dtype=np.uint64) if not isinstance(
+        pages, np.ndarray
+    ) else pages.astype(np.uint64)
+    if not len(arr):
+        return 0
+    x = arr + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return int(x.sum(dtype=np.uint64))
+
+
 class PageFaultModel:
     """Tracks the shared page table and charges fault service time."""
 
@@ -74,6 +99,18 @@ class PageFaultModel:
         self.layout = layout
         self.mapped = set(mapped)
         self.serialization_heavy = serialization_heavy
+        self._token = _pages_token(self.mapped)
+
+    def state_key(self) -> tuple:
+        """Hashable digest of the page-table state (for stage memo keys)."""
+        return (len(self.mapped), self._token)
+
+    def replay(self, new_pages: np.ndarray) -> None:
+        """Re-apply a memoized touch's newly mapped pages."""
+        if not len(new_pages):
+            return
+        self.mapped.update(int(p) for p in new_pages)
+        self._token = (self._token + _pages_token(new_pages)) & _TOKEN_MASK
 
     def touch(self, blocks: np.ndarray, kind: StageKind) -> FaultResult:
         """Record a stage's page touches; GPU first-touches fault.
@@ -91,6 +128,7 @@ class PageFaultModel:
         if not len(new_pages):
             return FaultResult(0, 0.0, np.empty(0, dtype=np.int64))
         self.mapped.update(int(p) for p in new_pages)
+        self._token = (self._token + _pages_token(new_pages)) & _TOKEN_MASK
 
         blocks_per_page = self.layout.blocks_per_page
         zeroed = (

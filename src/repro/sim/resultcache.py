@@ -12,8 +12,8 @@ everything that determines its value:
 * the full :class:`~repro.config.system.SystemConfig`,
 * the full :class:`~repro.sim.engine.SimOptions` (including ``scale`` and
   ``seed`` — two sweeps at different scales never collide) *except*
-  ``engine_impl``, whose reference/fast implementations are bit-identical
-  and therefore share entries, and
+  ``engine_impl`` and ``stage_memo``, whose settings select between
+  bit-identical execution strategies and therefore share entries, and
 * :data:`repro.sim.engine.ENGINE_VERSION`, so bumping the tag invalidates
   every archived result at once.
 
@@ -109,12 +109,15 @@ def cache_key(
 ) -> str:
     """Stable SHA-256 key of one (benchmark, version, system, options) run."""
     options_view = canonical(options)
-    # ``engine_impl`` selects between bit-identical implementations (the
-    # differential suite in tests/test_engine_equivalence.py enforces
-    # this), so it is deliberately excluded from the key: reference and
-    # fast runs share cache entries, and keys match those written before
-    # the option existed.  tests/test_resultcache.py pins this sharing.
+    # ``engine_impl`` selects between bit-identical implementations and
+    # ``stage_memo`` between bit-identical execution strategies (the
+    # differential suites in tests/test_engine_equivalence.py and
+    # tests/test_stage_memo.py enforce this), so both are deliberately
+    # excluded from the key: reference/fast and memo-on/off runs share
+    # cache entries, and keys match those written before the options
+    # existed.  tests/test_resultcache.py pins this sharing.
     options_view.pop("engine_impl", None)
+    options_view.pop("stage_memo", None)
     payload = {
         "schema": CACHE_SCHEMA,
         "engine": engine_version,
@@ -212,9 +215,14 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as raw:
                 # Level 1: the log arrays compress ~4x either way, and cache
-                # writes must not dominate small-scale sweeps.
+                # writes must not dominate small-scale sweeps.  Encode with
+                # dumps + one write: json.dump always takes the interpreted
+                # iterencode path (one tiny text-wrapper write per token —
+                # profiled at >3x the cost of the simulation itself on a
+                # cold 46x2 sweep), while dumps uses the C encoder.  The
+                # emitted bytes are identical.
                 with gzip.open(raw, "wt", encoding="utf-8", compresslevel=1) as handle:
-                    json.dump(payload, handle, separators=(",", ":"))
+                    handle.write(json.dumps(payload, separators=(",", ":")))
             os.replace(tmp_name, path)
         except BaseException:
             try:

@@ -19,6 +19,7 @@ from repro.bench import (
     BENCH_SCHEMA,
     BenchConfig,
     collect_report,
+    comparable_view,
     compare_reports,
     validate_report,
     write_report,
@@ -42,12 +43,12 @@ def make_report(p50s, **overrides):
     }
     report = {
         "schema": BENCH_SCHEMA,
-        "created_unix": 0.0,
         "git_sha": None,
         "machine": {"platform": "test"},
         "config": {},
         "metrics": metrics,
         "derived": {},
+        "meta": {"created_unix": 0.0},
     }
     report.update(overrides)
     return report
@@ -183,6 +184,32 @@ def test_validate_report_catches_defects():
     assert validate_report(make_report({"m.wall_s": 1.0})) == []
 
 
+def test_validate_accepts_legacy_top_level_created_unix():
+    """Baselines written before the ``meta`` sub-object still validate."""
+    legacy = make_report({"m.wall_s": 1.0})
+    del legacy["meta"]
+    legacy["created_unix"] = 0.0
+    assert validate_report(legacy) == []
+
+
+def test_validate_requires_a_timestamp_somewhere():
+    report = make_report({"m.wall_s": 1.0})
+    del report["meta"]
+    assert any("created_unix" in p for p in validate_report(report))
+    bad = make_report({"m.wall_s": 1.0}, meta={"created_unix": "yesterday"})
+    assert any("must be numeric" in p for p in validate_report(bad))
+
+
+def test_comparable_view_strips_provenance():
+    report = make_report({"m.wall_s": 1.0})
+    view = comparable_view(report)
+    assert "meta" not in view and "created_unix" not in view
+    legacy = make_report({"m.wall_s": 1.0})
+    del legacy["meta"]
+    legacy["created_unix"] = 77.0
+    assert comparable_view(legacy) == view
+
+
 def test_compare_reports_tolerance_boundary():
     base = make_report({"m.wall_s": 1.0})
     # Exactly at tolerance is NOT a regression (strict inequality).
@@ -215,6 +242,28 @@ def test_collect_report_is_deterministic_under_fake_clock():
     first, second = (json.dumps(r, sort_keys=True) for r in reports)
     assert first == second
     assert validate_report(reports[0]) == []
+    assert "sweep.paired.wall_s" in reports[0]["metrics"]
+    assert reports[0]["derived"]["memo.hit_rate"] > 0
     # Every measured interval under the fake clock is exactly one tick.
     for record in reports[0]["metrics"].values():
         assert all(s == 1.0 for s in record["samples"])
+
+
+def test_comparable_payload_is_byte_stable_across_wall_clock():
+    """Two runs differing only in wall-clock time produce byte-identical
+    comparable payloads: the timestamp is confined to ``meta``."""
+    config = BenchConfig(
+        scale=1 / 128,
+        seed=7,
+        reps=1,
+        quick=True,
+        benchmarks=("rodinia/kmeans",),
+        quick_sweep=("rodinia/kmeans",),
+        hit_reps=3,
+    )
+    early = collect_report(config, clock=FakeClock(), now=lambda: 1.0)
+    late = collect_report(config, clock=FakeClock(), now=lambda: 2.0e9)
+    assert early["meta"]["created_unix"] != late["meta"]["created_unix"]
+    assert json.dumps(comparable_view(early), sort_keys=True) == json.dumps(
+        comparable_view(late), sort_keys=True
+    )

@@ -1,6 +1,7 @@
 """Registry-wide differential tests: fast engine == reference engine.
 
-The vectorized cache implementation (``engine_impl="fast"``) must be
+The vectorized cache implementation (``engine_impl="fast"``, the default
+since the flip — ``reference`` is the opt-out baseline) must be
 *bit-exact* with the reference model on every benchmark and both pipeline
 versions: identical figure inputs, Table II metrics, invariant violations,
 and byte-identical v2-full serialization.  This is the contract that lets
@@ -8,6 +9,12 @@ the persistent result cache be shared between the two implementations
 (``engine_impl`` is deliberately excluded from the cache key — see
 :func:`repro.sim.resultcache.cache_key`), which the second half of this
 module tests directly.
+
+Because ``stage_memo`` defaults to ``"auto"``, every fast run here
+executes with stage-level memoization (:mod:`repro.sim.memo`) enabled
+while the reference side runs memo-free — so this matrix is
+simultaneously the fast-vs-reference *and* the memo-on-vs-off
+differential (the focused memo tests live in tests/test_stage_memo.py).
 
 The full 46x2 matrix runs in CI (``REPRO_EQUIVALENCE_FULL=1``); locally
 only a deterministic 8-benchmark sample runs, the rest are skipped (marker
@@ -93,6 +100,19 @@ def test_fast_engine_is_bit_exact(name, version):
     fast_bytes = json.dumps(fast_dict, sort_keys=True).encode()
     assert fast_bytes == ref_bytes
     assert results_identical(reference, fast)
+
+
+def test_fast_is_the_default_engine():
+    """The vectorized engine is the default; reference is the opt-out.
+
+    The differential matrix above is what licenses the default: users get
+    the fast path, and ``--engine reference`` (or
+    ``SimOptions(engine_impl="reference")``) opts back into the readable
+    baseline with bit-identical results.
+    """
+    options = SimOptions()
+    assert options.engine_impl == "fast"
+    assert options.stage_memo == "auto"
 
 
 def test_violations_match_on_fault_free_runs():

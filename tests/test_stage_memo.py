@@ -1,0 +1,277 @@
+"""Stage-level memoization (:mod:`repro.sim.memo`): bit-exactness first.
+
+The memo's whole license to exist is that replaying a recorded stage
+memory step is indistinguishable — down to the serialized v2-full bytes —
+from recomputing it.  The property test here drives that from arbitrary
+interleavings of runs (and therefore arbitrary hit/miss patterns against
+the shared process-wide memo); the env-gated differential
+(``REPRO_MEMO_DIFFERENTIAL=1``, the CI ``memo-differential`` job) pins an
+8-benchmark memo-on/off matrix.  The rest covers the key's
+:data:`~repro.sim.engine.ENGINE_VERSION` invalidation (shared with the
+persistent :mod:`repro.sim.resultcache`), cross-implementation entry
+sharing, the option plumbing, and the bounded-memory wholesale clear.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import discrete_gpu_system, heterogeneous_processor
+from repro.experiments.parallel import COPY, LIMITED, _simulate_version, _system_for
+from repro.sim import engine as engine_mod
+from repro.sim.engine import SimOptions
+from repro.sim.memo import (
+    MemoStats,
+    StageEntry,
+    StageMemo,
+    clear_shared_stage_memo,
+    shared_stage_memo,
+    stage_memo_snapshot,
+)
+from repro.sim.resultcache import cache_key
+from repro.sim.serialize import result_to_full_dict
+from repro.workloads.registry import get
+
+from tests.conftest import TINY_SCALE
+
+_DISCRETE = discrete_gpu_system()
+_HETEROGENEOUS = heterogeneous_processor()
+
+#: Pattern-diverse pool of the property test: an iterated offload loop
+#: (kmeans), a stencil (srad), an RNG-seeded graph (bfs), a histogram
+#: (histo).
+POOL = ("rodinia/kmeans", "rodinia/srad", "lonestar/bfs", "parboil/histo")
+
+#: The CI memo-differential matrix (mirrors the equivalence sample).
+DIFFERENTIAL_BENCHMARKS = (
+    "rodinia/kmeans",
+    "lonestar/bfs",
+    "rodinia/srad",
+    "parboil/histo",
+    "lonestar/mst",
+    "pannotia/pr",
+    "parboil/spmv",
+    "rodinia/backprop",
+)
+
+RUN_MEMO_DIFFERENTIAL = bool(os.environ.get("REPRO_MEMO_DIFFERENTIAL"))
+
+
+def _options(stage_memo: str, impl: str = "fast") -> SimOptions:
+    return SimOptions(
+        scale=TINY_SCALE, seed=7, engine_impl=impl, stage_memo=stage_memo
+    )
+
+
+def _run(name: str, version: str, stage_memo: str, impl: str = "fast"):
+    system = _system_for(version, _DISCRETE, _HETEROGENEOUS)
+    result, _wall = _simulate_version(
+        get(name), version, system, _options(stage_memo, impl)
+    )
+    return result
+
+
+def _payload_bytes(result) -> bytes:
+    return json.dumps(result_to_full_dict(result), sort_keys=True).encode()
+
+
+@lru_cache(maxsize=None)
+def _memo_off_bytes(name: str, version: str) -> bytes:
+    """The ground truth: this (name, version) simulated without the memo."""
+    return _payload_bytes(_run(name, version, "off"))
+
+
+# -- bit-exactness ----------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(POOL), st.sampled_from((COPY, LIMITED))),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_any_interleaving_matches_memo_off(sequence):
+    """Every run of any interleaving serializes to the memo-off bytes.
+
+    The shared memo is deliberately *not* cleared between examples: each
+    run executes against whatever entries previous examples left behind,
+    so the hit/miss pattern varies arbitrarily — which is exactly the
+    claim under test, that memo state can never leak into results.
+    """
+    for name, version in sequence:
+        got = _payload_bytes(_run(name, version, "on"))
+        assert got == _memo_off_bytes(name, version), (name, version)
+
+
+@pytest.mark.skipif(
+    not RUN_MEMO_DIFFERENTIAL,
+    reason="8-benchmark memo differential runs with REPRO_MEMO_DIFFERENTIAL=1",
+)
+@pytest.mark.parametrize(
+    "name, version",
+    [
+        pytest.param(name, version, id=f"{name}-{version}")
+        for name in DIFFERENTIAL_BENCHMARKS
+        for version in (COPY, LIMITED)
+    ],
+)
+def test_memo_differential(name, version):
+    """Memo-on equals memo-off byte-for-byte, cold and warm."""
+    expected = _memo_off_bytes(name, version)
+    clear_shared_stage_memo()
+    assert _payload_bytes(_run(name, version, "on")) == expected  # recording
+    assert _payload_bytes(_run(name, version, "on")) == expected  # replaying
+
+
+# -- ENGINE_VERSION invalidation (shared with the persistent cache) ---------
+
+
+def test_engine_version_bump_invalidates_memo_and_resultcache(monkeypatch):
+    """Bumping ENGINE_VERSION rotates both the stage-memo keys and the
+    persistent result-cache keys — one tag invalidates every recorded
+    artifact at once."""
+    clear_shared_stage_memo()
+    memo = shared_stage_memo()
+    start = memo.stats.snapshot()
+    _run("rodinia/kmeans", COPY, "on")
+    before = memo.stats.snapshot()
+    # An iterated pipeline self-hits even on a cold run (its stages reach
+    # a cache-state fixed point); what makes it *cold* is the misses.
+    cold_profile = (before[0] - start[0], before[1] - start[1])
+    assert cold_profile[1] > 0
+    _run("rodinia/kmeans", COPY, "on")
+    after = memo.stats.snapshot()
+    assert after[0] > before[0], "warm identical run must hit"
+    assert after[1] == before[1], "warm identical run must not miss"
+
+    spec = get("rodinia/kmeans")
+    key_now = cache_key(spec, COPY, _DISCRETE, _options("on"))
+    monkeypatch.setattr(engine_mod, "ENGINE_VERSION", "repro-sim/test-bump")
+    mid = memo.stats.snapshot()
+    result = _run("rodinia/kmeans", COPY, "on")
+    bumped = memo.stats.snapshot()
+    # Every pre-bump entry is unreachable: the run re-records from scratch,
+    # reproducing the cold run's exact hit/miss profile.
+    assert (bumped[0] - mid[0], bumped[1] - mid[1]) == cold_profile
+    assert _payload_bytes(result) == _memo_off_bytes("rodinia/kmeans", COPY)
+    key_bumped = cache_key(
+        spec, COPY, _DISCRETE, _options("on"), engine_version="repro-sim/test-bump"
+    )
+    assert key_bumped != key_now
+
+
+# -- option plumbing and key sharing ----------------------------------------
+
+
+def test_cache_key_ignores_stage_memo():
+    """Memo-on and memo-off runs share persistent cache entries, like the
+    two engine implementations do."""
+    spec = get("rodinia/kmeans")
+    base = cache_key(spec, COPY, _DISCRETE, _options("on"))
+    for mode in ("off", "auto"):
+        assert cache_key(spec, COPY, _DISCRETE, _options(mode)) == base
+
+
+def test_invalid_stage_memo_rejected():
+    with pytest.raises(ValueError, match="stage_memo"):
+        _run("rodinia/kmeans", COPY, "sometimes")
+
+
+def test_auto_enables_memo_only_on_fast():
+    clear_shared_stage_memo()
+    before = stage_memo_snapshot()
+    _run("rodinia/kmeans", COPY, "auto", impl="reference")
+    assert stage_memo_snapshot() == before, "auto+reference must not memoize"
+    _run("rodinia/kmeans", COPY, "auto", impl="fast")
+    assert stage_memo_snapshot() != before, "auto+fast must memoize"
+
+
+def test_off_disables_memo_on_fast():
+    clear_shared_stage_memo()
+    before = stage_memo_snapshot()
+    _run("rodinia/kmeans", COPY, "off", impl="fast")
+    assert stage_memo_snapshot() == before
+
+
+def test_reference_run_replays_fast_recorded_entries():
+    """Entries are impl-independent: a reference run warm-hits a memo
+    populated entirely by the fast engine, and stays bit-exact."""
+    clear_shared_stage_memo()
+    _run("rodinia/srad", COPY, "on", impl="fast")
+    memo = shared_stage_memo()
+    mid = memo.stats.snapshot()
+    result = _run("rodinia/srad", COPY, "on", impl="reference")
+    final = memo.stats.snapshot()
+    assert final[0] > mid[0], "reference must hit fast-recorded entries"
+    assert final[1] == mid[1]
+    assert _payload_bytes(result) == _memo_off_bytes("rodinia/srad", COPY)
+
+
+# -- counters and bounds ----------------------------------------------------
+
+
+def test_memo_stats_hit_rate():
+    stats = MemoStats()
+    assert stats.lookups == 0 and stats.hit_rate == 0.0
+    stats.hits, stats.misses = 3, 1
+    assert stats.lookups == 4
+    assert stats.hit_rate == pytest.approx(0.75)
+    assert stats.snapshot() == (3, 1)
+
+
+def _tiny_entry() -> StageEntry:
+    return StageEntry(
+        log_parts=(), mem=None, fault=None, cache_states=(), stats_deltas=()
+    )
+
+
+def test_entry_bound_triggers_wholesale_clear():
+    memo = StageMemo(max_entries=2, max_bytes=1 << 30)
+    memo.store(("k1",), _tiny_entry())
+    memo.store(("k2",), _tiny_entry())
+    assert len(memo) == 2 and memo.stats.clears == 0
+    memo.store(("k3",), _tiny_entry())
+    assert len(memo) == 1, "hitting the entry bound clears wholesale"
+    assert memo.stats.clears == 1
+
+
+def test_byte_bound_triggers_wholesale_clear():
+    big = StageEntry(
+        log_parts=(
+            (np.zeros(256, dtype=np.int64), np.zeros(256, dtype=bool), 0),
+        ),
+        mem=None,
+        fault=None,
+        cache_states=(),
+        stats_deltas=(),
+    )
+    probe = StageMemo()
+    probe.store(("probe",), big)
+    nbytes = probe.retained_bytes
+    assert nbytes > 0
+    memo = StageMemo(max_entries=100, max_bytes=nbytes + nbytes // 2)
+    memo.store(("a",), big)
+    memo.store(("b",), big)  # would exceed the byte bound
+    assert len(memo) == 1 and memo.stats.clears == 1
+    assert memo.retained_bytes == nbytes
+
+
+def test_clear_preserves_cumulative_counters():
+    memo = StageMemo()
+    memo.store(("k",), _tiny_entry())
+    assert memo.lookup(("k",)) is not None
+    assert memo.lookup(("absent",)) is None
+    snapshot = memo.stats.snapshot()
+    assert snapshot == (1, 1)
+    memo.clear()
+    assert len(memo) == 0 and memo.retained_bytes == 0
+    assert memo.stats.snapshot() == snapshot

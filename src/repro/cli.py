@@ -11,6 +11,8 @@ Commands::
     repro ablations                   # ablation studies
     repro cache [--clear]             # inspect the persistent result cache
     repro bench [--compare BASE]      # engine perf report + regression gate
+    repro serve [--port P --jobs N]   # async HTTP/JSON sweep service
+    repro loadtest [--requests N]     # hammer a server, check dedup/latency
     repro lint [BENCHMARK...] [--fix] # static pipeline verification
     repro advise [BENCHMARK] [--static]  # rank optimization opportunities
     repro trace BENCHMARK             # run with the tracing layer attached
@@ -33,6 +35,14 @@ fan the sweep out over a process pool, and ``--cache-dir``/``--no-cache``
 to control the persistent result cache (default ``~/.cache/repro-sweeps``,
 or ``$REPRO_CACHE_DIR``).  A repeated invocation with a warm cache
 simulates nothing and reproduces identical output.
+
+``repro serve`` turns the sweep runner into a long-running service
+(docs/SERVING.md): an asyncio HTTP/JSON API accepting simulation, sweep,
+and advisor jobs — validated with the lint preflight, deduplicated by
+content hash against in-flight work, dispatched through the fault
+supervisor, and answered from the shared result cache when warm.
+``repro loadtest`` hammers such a server with concurrent duplicate-and-
+distinct jobs and (with ``--check``) asserts dedup and latency bounds.
 
 Sweeps are fault-tolerant (docs/SWEEPS.md): a failing simulation is
 retried (``--max-retries``, capped exponential backoff), a hung worker is
@@ -338,6 +348,104 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"no regressions across {len(comparison.compared)} shared "
             f"metric(s) at {args.tolerance:.2f}x tolerance"
         )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeApp, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        concurrency=args.concurrency,
+        cache_dir=getattr(args, "cache_dir", None),
+        no_cache=getattr(args, "no_cache", False),
+        default_scale=args.default_scale,
+        max_retries=args.max_retries,
+        task_timeout_s=args.task_timeout,
+        lint=not args.no_lint,
+    )
+    app = ServeApp(config)
+
+    def announce(ready: ServeApp) -> None:
+        print(
+            f"repro serve: listening on http://{config.host}:{ready.port} "
+            f"(workers={max(1, config.concurrency)}, "
+            f"pool jobs={ready._health()['pool_jobs']}, "
+            f"cache={'off' if app.cache is None else app.cache.root})",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(app.run_until_shutdown(on_ready=announce))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+    from urllib.parse import urlparse
+
+    from repro.serve import LoadTestConfig, ServeClient, check_report, run_loadtest
+    from repro.serve.loadtest import loadtest_in_process, render_report
+
+    if not 0.0 <= args.duplicate_ratio <= 1.0:
+        print(
+            f"repro loadtest: --duplicate-ratio must be in [0, 1], "
+            f"got {args.duplicate_ratio}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.requests < 1:
+        print(
+            f"repro loadtest: --requests must be >= 1, got {args.requests}",
+            file=sys.stderr,
+        )
+        return 2
+    config = LoadTestConfig(
+        requests=args.requests,
+        duplicate_ratio=args.duplicate_ratio,
+        concurrency=args.concurrency,
+        benchmarks=tuple(args.benchmark) if args.benchmark else ("rodinia/kmeans",),
+        scale=args.scale,
+        warm_requests=args.warm_requests,
+        seed=args.seed,
+        job_timeout_s=args.job_timeout,
+    )
+    if args.url:
+        target = urlparse(args.url if "//" in args.url else f"//{args.url}")
+        if not target.hostname or not target.port:
+            print(
+                f"repro loadtest: cannot parse host:port from {args.url!r}",
+                file=sys.stderr,
+            )
+            return 2
+        client = ServeClient(
+            target.hostname, target.port, timeout_s=config.job_timeout_s
+        )
+        report = asyncio.run(run_loadtest(client, config))
+    else:
+        report = loadtest_in_process(config)
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    if args.check:
+        problems = check_report(report, warm_p50_bound_s=args.warm_p50_bound)
+        if problems:
+            print(
+                f"repro loadtest: {len(problems)} check(s) failed:",
+                file=sys.stderr,
+            )
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print("loadtest: dedup and latency checks passed")
     return 0
 
 
@@ -883,6 +991,85 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None,
         help="write the report JSON here (e.g. BENCH_engine.json)")
     bench_p.set_defaults(handler=cmd_bench)
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the async HTTP/JSON sweep service (docs/SERVING.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8372,
+        help="listen port (0 = pick a free port; default: 8372)")
+    serve_p.add_argument(
+        "--jobs", type=int, default=0,
+        help="process-pool width each job's sweep fans out over "
+        "(0 = all cores, 1 = serial in-parent)")
+    serve_p.add_argument(
+        "--concurrency", type=int, default=2,
+        help="jobs executing at once, each with its own sweep pool "
+        "(default: 2)")
+    serve_p.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result-cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-sweeps)")
+    serve_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache (dedup of in-flight "
+        "duplicates still applies; warm repeats re-simulate)")
+    serve_p.add_argument(
+        "--default-scale", type=float, default=DEFAULT_BENCH_SCALE,
+        help="scale used by jobs that do not specify one")
+    serve_p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="fault-supervisor retries per failing simulation (default: 2)")
+    serve_p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any single simulation exceeding this budget")
+    serve_p.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the lint preflight on submitted jobs")
+    serve_p.set_defaults(handler=cmd_serve)
+    loadtest_p = sub.add_parser(
+        "loadtest",
+        help="hammer a serve instance with duplicate-and-distinct jobs "
+        "and report dedup/latency (docs/SERVING.md)",
+    )
+    loadtest_p.add_argument(
+        "--url", default=None, metavar="HOST:PORT",
+        help="target server; omit to boot an in-process one")
+    loadtest_p.add_argument(
+        "--requests", type=int, default=200,
+        help="total submissions in the storm phase (default: 200)")
+    loadtest_p.add_argument(
+        "--duplicate-ratio", type=float, default=0.8,
+        help="fraction of requests replaying the hot job (default: 0.8)")
+    loadtest_p.add_argument(
+        "--concurrency", type=int, default=32,
+        help="submissions in flight at once (default: 32)")
+    loadtest_p.add_argument(
+        "--benchmark", action="append", default=None,
+        help="benchmark(s) each sweep job covers (default: rodinia/kmeans)")
+    loadtest_p.add_argument(
+        "--scale", type=float, default=1 / 64,
+        help="footprint scale of the jobs (default: 1/64)")
+    loadtest_p.add_argument(
+        "--warm-requests", type=int, default=20,
+        help="warm-phase repeats of the hot job (default: 20)")
+    loadtest_p.add_argument("--seed", type=int, default=0,
+                            help="shuffle seed for the request mix")
+    loadtest_p.add_argument(
+        "--job-timeout", type=float, default=120.0,
+        help="per-request terminal-status timeout (default: 120s)")
+    loadtest_p.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless dedup collapsed duplicates, the warm phase "
+        "computed nothing, and warm p50 is under --warm-p50-bound")
+    loadtest_p.add_argument(
+        "--warm-p50-bound", type=float, default=2.0,
+        help="warm-hit p50 outer-time bound for --check (default: 2.0s)")
+    loadtest_p.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON instead of the summary")
+    loadtest_p.set_defaults(handler=cmd_loadtest)
     advise_p = add("advise", cmd_advise,
                    "rank optimization opportunities for one benchmark")
     advise_p.add_argument("benchmark", nargs="?", default=None,

@@ -28,6 +28,8 @@ CLI sweep command as ``--max-retries`` / ``--task-timeout`` /
 
 from __future__ import annotations
 
+import asyncio
+import functools
 import os
 import pickle
 import time
@@ -35,12 +37,13 @@ from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
     CancelledError,
+    Executor,
     Future,
     ProcessPoolExecutor,
     wait,
 )
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config.system import SystemConfig
 from repro.pipeline.transforms import remove_copies
@@ -692,3 +695,78 @@ def run_tasks(
 
     metrics.wall_s = time.perf_counter() - start
     return results, metrics
+
+
+#: Signature of the optional progress hook of :func:`run_tasks_async`:
+#: ``(tasks_completed, tasks_total, metrics_so_far)`` awaited on the event
+#: loop after every chunk, so servers can stream progress without polling.
+ProgressHook = Callable[[int, int, SweepMetrics], Awaitable[None]]
+
+
+async def run_tasks_async(
+    tasks: Sequence[SweepTask],
+    *,
+    discrete: SystemConfig,
+    heterogeneous: SystemConfig,
+    options: SimOptions,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    metrics_registry: Optional[MetricsRegistry] = None,
+    policy: Optional[FaultPolicy] = None,
+    executor: Optional[Executor] = None,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressHook] = None,
+) -> Tuple[Dict[Tuple[str, str], SimResult], SweepMetrics]:
+    """Asyncio-facing :func:`run_tasks`: the submission API ``repro serve``
+    dispatches through.
+
+    The batch runs in ``executor`` (default: the loop's default thread
+    pool) so the event loop stays responsive while simulations fan out
+    over the process pool; semantics — caching, retries, structured
+    :class:`TaskFailure` reports — are exactly those of :func:`run_tasks`.
+
+    With ``chunk_size`` the batch is split into sequential sub-batches
+    and ``progress`` is awaited after each one, which is how a server
+    streams per-job progress events; without it the whole batch is one
+    call (one pool spin-up — cheapest, but no intermediate progress).
+    Chunked metrics are merged, so counters (launched, cache hits,
+    failures, retries) cover the whole batch either way.
+    """
+    loop = asyncio.get_running_loop()
+    tasks = list(tasks)
+    if chunk_size is None or chunk_size <= 0 or chunk_size >= len(tasks):
+        chunks = [tasks] if tasks else []
+    else:
+        chunks = [
+            tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)
+        ]
+
+    results: Dict[Tuple[str, str], SimResult] = {}
+    combined: Optional[SweepMetrics] = None
+    completed = 0
+    for chunk in chunks:
+        part, metrics = await loop.run_in_executor(
+            executor,
+            functools.partial(
+                run_tasks,
+                chunk,
+                discrete=discrete,
+                heterogeneous=heterogeneous,
+                options=options,
+                jobs=jobs,
+                cache=cache,
+                metrics_registry=metrics_registry,
+                policy=policy,
+            ),
+        )
+        results.update(part)
+        if combined is None:
+            combined = metrics
+        else:
+            combined.merge(metrics)
+        completed += len(chunk)
+        if progress is not None:
+            await progress(completed, len(tasks), combined)
+    if combined is None:
+        combined = SweepMetrics(total=0, jobs=resolve_jobs(jobs))
+    return results, combined

@@ -41,10 +41,13 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 
 from repro.config.system import SystemConfig
 from repro.sim.engine import ENGINE_VERSION, SimOptions
@@ -142,8 +145,37 @@ class CacheEntry:
     sim_wall_s: float
 
 
+class _Flight:
+    """Refcounted per-key lock slot of the single-flight registry."""
+
+    __slots__ = ("lock", "refs")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.refs = 0
+
+
+#: Process-wide single-flight registry keyed by (cache root, entry key).
+#: Slots are refcounted and dropped when the last holder releases, so a
+#: long-running server's lock table stays bounded by its concurrency, not
+#: by the number of keys it has ever served.
+_FLIGHT_GUARD = threading.Lock()
+_FLIGHTS: Dict[Tuple[str, str], _Flight] = {}
+
+
 class ResultCache:
-    """Filesystem-backed result store; one gzip-JSON file per key."""
+    """Filesystem-backed result store; one gzip-JSON file per key.
+
+    Concurrency: entries are written atomically (temp file +
+    ``os.replace``) so readers can never observe torn data, and multiple
+    threads/processes may store the same key concurrently (last atomic
+    replace wins — both wrote the same bytes).  What atomicity alone does
+    not prevent is *duplicate computation*: two clients missing on the
+    same key both simulate.  :meth:`get_or_compute` closes that gap with
+    a process-local single-flight lock per key — the first caller
+    computes and stores while the rest block, then load the stored entry
+    (tests/test_resultcache_concurrency.py pins both properties).
+    """
 
     def __init__(self, root: Union[None, str, Path] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
@@ -151,6 +183,48 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         # Two-level fan-out keeps directories small for big sweeps.
         return self.root / key[:2] / f"{key}.json.gz"
+
+    @contextmanager
+    def lock(self, key: str) -> Iterator[None]:
+        """Serialize the enclosed block against same-key blocks in this
+        process (other cache roots and other keys are unaffected)."""
+        slot_key = (str(self.root), key)
+        with _FLIGHT_GUARD:
+            flight = _FLIGHTS.get(slot_key)
+            if flight is None:
+                flight = _FLIGHTS[slot_key] = _Flight()
+            flight.refs += 1
+        try:
+            with flight.lock:
+                yield
+        finally:
+            with _FLIGHT_GUARD:
+                flight.refs -= 1
+                if flight.refs == 0 and _FLIGHTS.get(slot_key) is flight:
+                    del _FLIGHTS[slot_key]
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], SimResult]
+    ) -> Tuple[CacheEntry, bool]:
+        """Load ``key`` or compute-and-store it, single-flight per process.
+
+        Returns ``(entry, computed)`` where ``computed`` is True when
+        *this* call ran ``compute``.  Concurrent same-key callers block on
+        the per-key lock and then load the freshly stored entry, so N
+        racing clients cost one computation, not N.
+        """
+        entry = self.load(key)
+        if entry is not None:
+            return entry, False
+        with self.lock(key):
+            entry = self.load(key)
+            if entry is not None:
+                return entry, False
+            start = time.perf_counter()
+            result = compute()
+            wall_s = time.perf_counter() - start
+            self.store(key, result, sim_wall_s=wall_s)
+            return CacheEntry(result=result, sim_wall_s=wall_s), True
 
     def load(self, key: str) -> Optional[CacheEntry]:
         """Return the stored entry, or None on miss or unreadable file.

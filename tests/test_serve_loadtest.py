@@ -1,0 +1,173 @@
+"""The ``repro loadtest`` harness and the CI load smoke.
+
+The smoke is the ISSUE's acceptance scenario scaled to test time: ~200
+concurrent sweep submissions with a high duplicate ratio against an
+in-process server, asserting the duplicates deduplicated down to one
+computation per content hash and that warm hits never re-simulate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve.loadtest import (
+    LOADTEST_SCHEMA,
+    LoadTestConfig,
+    check_report,
+    loadtest_in_process,
+    render_report,
+)
+
+FAST_SCALE = 1 / 256
+
+
+class TestRequestMix:
+    def test_bodies_deterministic_under_seed(self):
+        config = LoadTestConfig(requests=50, duplicate_ratio=0.8, seed=7)
+        assert config.bodies() == config.bodies()
+        reordered = LoadTestConfig(requests=50, duplicate_ratio=0.8, seed=8)
+        assert sorted(
+            map(json.dumps, config.bodies())
+        ) == sorted(map(json.dumps, reordered.bodies()))
+
+    def test_duplicate_ratio_shapes_the_mix(self):
+        config = LoadTestConfig(requests=100, duplicate_ratio=0.9)
+        assert config.distinct_jobs() == 10
+        seeds = [body["seed"] for body in config.bodies()]
+        assert len(set(seeds)) == 10
+        assert seeds.count(0) == 91  # the hot job: 90 duplicates + its own
+
+    def test_all_duplicates_still_one_distinct_job(self):
+        config = LoadTestConfig(requests=10, duplicate_ratio=1.0)
+        assert config.distinct_jobs() == 1
+        assert {body["seed"] for body in config.bodies()} == {0}
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            LoadTestConfig(requests=0).bodies()
+        with pytest.raises(ValueError):
+            LoadTestConfig(duplicate_ratio=1.5).bodies()
+
+
+class TestCheckReport:
+    def _report(self, **overrides):
+        report = {
+            "schema": LOADTEST_SCHEMA,
+            "config": {"requests": 100, "distinct_jobs": 10},
+            "storm": {"requests": 100, "errors": 0, "wall_s": 1.0},
+            "warm": {
+                "requests": 10,
+                "errors": 0,
+                "outer_s": {"p50": 0.01, "p95": 0.02, "max": 0.03},
+            },
+            "server": {
+                "computed_runs": 20,
+                "warm_phase_computed_runs": 0,
+            },
+        }
+        for key, value in overrides.items():
+            section, _, field = key.partition(".")
+            report[section][field] = value
+        return report
+
+    def test_clean_report_passes(self):
+        assert check_report(self._report()) == []
+
+    def test_dedup_failure_flagged(self):
+        problems = check_report(self._report(**{"server.computed_runs": 150}))
+        assert any("dedup failed" in problem for problem in problems)
+
+    def test_warm_recompute_flagged(self):
+        problems = check_report(
+            self._report(**{"server.warm_phase_computed_runs": 2})
+        )
+        assert any("re-simulated" in problem for problem in problems)
+
+    def test_slow_warm_hits_flagged(self):
+        report = self._report()
+        report["warm"]["outer_s"]["p50"] = 9.0
+        problems = check_report(report, warm_p50_bound_s=2.0)
+        assert any("p50" in problem for problem in problems)
+
+    def test_request_errors_flagged(self):
+        problems = check_report(self._report(**{"storm.errors": 3}))
+        assert any("storm" in problem for problem in problems)
+
+
+class TestLoadSmoke:
+    def test_200_requests_high_duplicate_ratio(self):
+        """The CI smoke: computed runs stay far below the request count
+        and the warm phase is answered entirely from the ResultCache."""
+        config = LoadTestConfig(
+            requests=200,
+            duplicate_ratio=0.9,
+            concurrency=32,
+            scale=FAST_SCALE,
+            warm_requests=10,
+            job_timeout_s=300.0,
+        )
+        report = loadtest_in_process(config)
+        assert report["schema"] == LOADTEST_SCHEMA
+        # Generous p50 bound: this catches hangs, not slow CI machines.
+        problems = check_report(report, warm_p50_bound_s=10.0)
+        assert problems == [], "\n".join(problems)
+        server = report["server"]
+        assert server["submitted"] == 210
+        # 20 distinct jobs x 2 versions; every duplicate coalesced or
+        # answered warm.  Exactly-once per content hash.
+        assert server["computed_runs"] == 2 * report["config"]["distinct_jobs"]
+        assert server["warm_phase_computed_runs"] == 0
+        assert report["storm"]["errors"] == 0
+        assert set(report["storm_statuses"]) == {"done"}
+        rendered = render_report(report)
+        assert "dedup:" in rendered and "210 submitted" in rendered
+
+
+class TestCli:
+    def test_rejects_bad_duplicate_ratio(self, capsys):
+        assert main(["loadtest", "--duplicate-ratio", "1.5"]) == 2
+        assert "duplicate-ratio" in capsys.readouterr().err
+
+    def test_rejects_zero_requests(self, capsys):
+        assert main(["loadtest", "--requests", "0"]) == 2
+        assert "requests" in capsys.readouterr().err
+
+    def test_rejects_unparseable_url(self, capsys):
+        assert main(["loadtest", "--url", "nonsense"]) == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_in_process_run_with_check(self, capsys):
+        code = main(
+            [
+                "loadtest",
+                "--requests", "12",
+                "--duplicate-ratio", "0.75",
+                "--concurrency", "8",
+                "--scale", str(FAST_SCALE),
+                "--warm-requests", "3",
+                "--warm-p50-bound", "10.0",
+                "--check",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "checks passed" in out
+
+    def test_json_output_is_the_report(self, capsys):
+        code = main(
+            [
+                "loadtest",
+                "--requests", "4",
+                "--duplicate-ratio", "0.5",
+                "--scale", str(FAST_SCALE),
+                "--warm-requests", "0",
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == LOADTEST_SCHEMA
+        assert report["server"]["submitted"] == 4

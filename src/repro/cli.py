@@ -73,6 +73,7 @@ from repro.experiments import (
     table2,
     validation,
 )
+from repro.experiments.executors import BACKENDS as EXECUTOR_BACKENDS
 from repro.experiments.report import format_mapping, format_table
 from repro.experiments.runner import (
     COPY,
@@ -131,7 +132,18 @@ def _fault_policy(args: argparse.Namespace) -> FaultPolicy:
     )
 
 
+def _hosts(args: argparse.Namespace) -> tuple:
+    raw = getattr(args, "hosts", None)
+    if not raw:
+        return ()
+    return tuple(h.strip() for h in raw.split(",") if h.strip())
+
+
 def _runner(args: argparse.Namespace) -> SweepRunner:
+    backend = getattr(args, "backend", "local")
+    hosts = _hosts(args)
+    if backend == "ssh" and not hosts:
+        raise SystemExit("repro: --backend ssh requires --hosts H1,H2,...")
     return SweepRunner(
         options=_options(args),
         parallel=getattr(args, "jobs", 1),
@@ -139,6 +151,8 @@ def _runner(args: argparse.Namespace) -> SweepRunner:
         verbose=True,
         preflight=getattr(args, "preflight", False),
         fault_policy=_fault_policy(args),
+        backend=backend,
+        hosts=hosts,
     )
 
 
@@ -356,6 +370,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import ServeApp, ServeConfig
 
+    backend = getattr(args, "backend", "local")
+    hosts = _hosts(args)
+    if backend == "ssh" and not hosts:
+        raise SystemExit("repro: --backend ssh requires --hosts H1,H2,...")
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -367,6 +385,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         task_timeout_s=args.task_timeout,
         lint=not args.no_lint,
+        backend=backend,
+        hosts=hosts,
     )
     app = ServeApp(config)
 
@@ -894,6 +914,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="stop dispatching new work once a task exhausts its "
             "retries; results finished before the failure are kept",
         )
+        p.add_argument(
+            "--backend",
+            choices=EXECUTOR_BACKENDS,
+            default="local",
+            help="executor backend for parallel sweeps: 'local' shares a "
+            "process pool, 'subprocess' isolates each task in its own "
+            "worker child, 'ssh' fans tasks out over --hosts "
+            "(docs/SWEEPS.md); results are bit-identical across backends",
+        )
+        p.add_argument(
+            "--hosts",
+            default=None,
+            metavar="H1,H2,...",
+            help="comma-separated remote hosts for --backend ssh "
+            "(each needs python3 with the repro package importable)",
+        )
         p.set_defaults(handler=handler)
         return p
 
@@ -1027,6 +1063,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--no-lint", action="store_true",
         help="skip the lint preflight on submitted jobs")
+    serve_p.add_argument(
+        "--backend", choices=EXECUTOR_BACKENDS, default="local",
+        help="executor backend job sweeps fan out through "
+        "(docs/SWEEPS.md); 'ssh' requires --hosts")
+    serve_p.add_argument(
+        "--hosts", default=None, metavar="H1,H2,...",
+        help="comma-separated remote hosts for --backend ssh")
     serve_p.set_defaults(handler=cmd_serve)
     loadtest_p = sub.add_parser(
         "loadtest",

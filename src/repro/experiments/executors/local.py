@@ -1,0 +1,89 @@
+"""The in-process pool backend: the original ProcessPoolExecutor, boxed.
+
+Behavior-identical to the supervisor owning the pool itself (PR 5): same
+worker body, same hard-terminate teardown of hung workers, same
+``BrokenExecutor`` surfacing.  The only change is shape — tasks go in as
+:class:`WorkerTask` and come out as :class:`WorkerOutcome`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Optional, Tuple
+
+from repro.experiments.executors.base import (
+    LOCAL_HOST,
+    ExecutorBackend,
+    WorkerOutcome,
+    WorkerTask,
+)
+
+
+def _local_worker(
+    payload: Tuple[str, Optional[bytes], str, object, object],
+) -> WorkerOutcome:
+    """Top-level (picklable) pool task: run `_worker`, box the outcome."""
+    # Imported lazily so unpickling this function in a fresh worker does
+    # not import the supervisor module before the executors package.
+    from repro.experiments.parallel import _worker
+
+    full_name, version, result, wall_s, memo_delta = _worker(payload)
+    return WorkerOutcome(
+        benchmark=full_name,
+        version=version,
+        wall_s=wall_s,
+        memo_hits=memo_delta[0],
+        memo_misses=memo_delta[1],
+        host=LOCAL_HOST,
+        result=result,
+    )
+
+
+class LocalPoolBackend(ExecutorBackend):
+    """``--backend local``: a ProcessPoolExecutor on this machine."""
+
+    name = "local"
+
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._workers = 1
+
+    def start(self, workers: int) -> None:
+        self._workers = max(1, workers)
+        self._pool = ProcessPoolExecutor(max_workers=self._workers)
+
+    def submit(self, task: WorkerTask) -> "Future[WorkerOutcome]":
+        if self._pool is None:
+            raise RuntimeError("backend not started")
+        payload = (
+            task.benchmark,
+            task.spec_blob,
+            task.version,
+            task.system,
+            task.options,
+        )
+        return self._pool.submit(_local_worker, payload)
+
+    def host_of(self, future: "Future[WorkerOutcome]") -> Optional[str]:
+        return LOCAL_HOST
+
+    def _terminate(self) -> None:
+        # Hung or crashed workers cannot be joined; kill what's left.
+        if self._pool is None:
+            return
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            if process.is_alive():
+                process.terminate()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+
+    def recycle(self) -> None:
+        self._terminate()
+        self._pool = ProcessPoolExecutor(max_workers=self._workers)
+
+    def shutdown(self) -> None:
+        self._terminate()
+
+    def healthy(self) -> bool:
+        return self._pool is not None and not getattr(self._pool, "_broken", False)

@@ -1,0 +1,232 @@
+"""Per-task child-process backend speaking the JSON wire format.
+
+Each submitted task launches one ``python -m repro.experiments.remote_worker``
+child, writes the encoded :class:`WorkerTask` to its stdin, and parses the
+single JSON reply from its stdout.  Children are fully isolated: a crash
+(or a supervisor task-timeout kill) takes down exactly one task, so —
+unlike the shared process pool — no backend recycle is needed and other
+in-flight tasks keep running.
+
+This is the distributed execution model, testable on one host with no SSH;
+:class:`~repro.experiments.executors.ssh.SshBackend` subclasses it and
+merely changes the launch command.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.executors.base import (
+    ExecutorBackend,
+    HostUnavailable,
+    RemoteTaskError,
+    TaskCrash,
+    WireProtocolError,
+    WorkerOutcome,
+    WorkerTask,
+)
+from repro.experiments.executors.wire import decode_result, encode_task
+
+#: The worker module each child runs (`python -m ...`).
+WORKER_MODULE = "repro.experiments.remote_worker"
+
+
+def _stderr_tail(err: bytes, limit: int = 400) -> str:
+    text = err.decode("utf-8", errors="replace").strip()
+    return text[-limit:] if text else "(no stderr)"
+
+
+class _ChildHandle:
+    """Mutable rendezvous between submit/kill (supervisor thread) and the
+    launcher thread: which Popen backs a future, and whether the
+    supervisor asked for its death before/after launch."""
+
+    __slots__ = ("host", "proc", "killed")
+
+    def __init__(self, host: Optional[str]) -> None:
+        self.host = host
+        self.proc: Optional[subprocess.Popen] = None
+        self.killed = False
+
+
+class SubprocessBackend(ExecutorBackend):
+    """``--backend subprocess``: one local worker child per task."""
+
+    name = "subprocess"
+
+    #: Exit code treated as "the host is unreachable" (ssh's convention;
+    #: meaningless for plain local children, so off here, on in SshBackend).
+    _host_down_rc: Optional[int] = None
+
+    def __init__(
+        self,
+        worker_cmd: Optional[Sequence[str]] = None,
+        worker_cache_dir: Optional[str] = None,
+    ) -> None:
+        self._worker_cmd = list(worker_cmd) if worker_cmd else [
+            sys.executable, "-m", WORKER_MODULE
+        ]
+        #: Overrides the cache directory workers use (default: whatever
+        #: the coordinator put in the task — its own cache root).
+        self._worker_cache_dir = worker_cache_dir
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._workers = 1
+        self._guard = threading.Lock()
+        self._handles: Dict["Future[WorkerOutcome]", _ChildHandle] = {}
+
+    # -- launch plumbing (the ssh backend overrides these) -----------------
+
+    def _host_for_task(self) -> Optional[str]:
+        """Host label the next task is routed to.
+
+        Local children all run here, so the label is this machine's name
+        — which gives even a *crashed* child (no reply to report a host
+        in) per-host failure attribution.
+        """
+        return socket.gethostname() or "localhost"
+
+    def _command(self, handle: _ChildHandle) -> List[str]:
+        return list(self._worker_cmd)
+
+    def _shape_task(self, task: WorkerTask, handle: _ChildHandle) -> WorkerTask:
+        """Last-minute task adjustments (the ssh backend rewrites paths)."""
+        if self._worker_cache_dir is not None:
+            return replace(task, cache_dir=self._worker_cache_dir)
+        return task
+
+    def _child_env(self) -> Dict[str, str]:
+        # A source checkout run with PYTHONPATH=src must spawn workers that
+        # can import repro too, wherever the coordinator found it.
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[3])
+        existing = env.get("PYTHONPATH")
+        if package_root not in (existing or "").split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+        return env
+
+    # -- ExecutorBackend ----------------------------------------------------
+
+    def start(self, workers: int) -> None:
+        self._workers = max(1, workers)
+        self._threads = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix=f"repro-{self.name}"
+        )
+
+    def submit(self, task: WorkerTask) -> "Future[WorkerOutcome]":
+        if self._threads is None:
+            raise RuntimeError("backend not started")
+        handle = _ChildHandle(self._host_for_task())
+        future = self._threads.submit(self._run_child, task, handle)
+        with self._guard:
+            # The supervisor keeps in-flight <= workers, so pruning done
+            # futures on each submit bounds the table at pool width.
+            for done in [f for f in self._handles if f.done()]:
+                del self._handles[done]
+            self._handles[future] = handle
+        return future
+
+    def kill_task(self, future: "Future[WorkerOutcome]") -> bool:
+        with self._guard:
+            handle = self._handles.get(future)
+        if handle is None:
+            return False
+        handle.killed = True
+        if handle.proc is not None:
+            try:
+                handle.proc.kill()
+            except OSError:
+                pass
+        return True  # surgical: only this task's child dies
+
+    def host_of(self, future: "Future[WorkerOutcome]") -> Optional[str]:
+        with self._guard:
+            handle = self._handles.get(future)
+        return handle.host if handle is not None else None
+
+    def recycle(self) -> None:
+        self.shutdown()
+        self._threads = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix=f"repro-{self.name}"
+        )
+
+    def shutdown(self) -> None:
+        with self._guard:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
+            handle.killed = True
+            if handle.proc is not None:
+                try:
+                    handle.proc.kill()
+                except OSError:
+                    pass
+        if self._threads is not None:
+            self._threads.shutdown(wait=True, cancel_futures=True)
+            self._threads = None
+
+    def healthy(self) -> bool:
+        return True  # children are provisioned per task; nothing to probe
+
+    # -- the launcher thread body -------------------------------------------
+
+    def _run_child(self, task: WorkerTask, handle: _ChildHandle) -> WorkerOutcome:
+        host = handle.host
+        if handle.killed:
+            raise TaskCrash("killed before launch", host=host)
+        payload = encode_task(self._shape_task(task, handle))
+        try:
+            proc = subprocess.Popen(
+                self._command(handle),
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=self._child_env(),
+            )
+        except OSError as exc:
+            raise TaskCrash(f"cannot launch worker: {exc}", host=host) from exc
+        handle.proc = proc
+        if handle.killed:  # kill raced the launch
+            proc.kill()
+        try:
+            out, err = proc.communicate(payload)
+        except (OSError, ValueError) as exc:
+            proc.kill()
+            proc.wait()
+            raise TaskCrash(f"worker pipe failed: {exc}", host=host) from exc
+        if handle.killed:
+            raise TaskCrash("worker killed by supervisor", host=host)
+        rc = proc.returncode
+        if self._host_down_rc is not None and rc == self._host_down_rc:
+            raise HostUnavailable(
+                f"host unreachable (rc {rc}): {_stderr_tail(err)}", host=host
+            )
+        if rc != 0:
+            raise TaskCrash(
+                f"worker exited {rc}: {_stderr_tail(err)}", host=host
+            )
+        try:
+            outcome = decode_result(out)
+        except WireProtocolError as exc:
+            if exc.host is None:
+                exc.host = host
+            raise
+        except RemoteTaskError as exc:
+            if host is not None:
+                exc.host = host
+            raise
+        if host is not None:
+            # Attribute to the host the *coordinator* routed to (the label
+            # retries and quarantine decisions are keyed by), not whatever
+            # name the worker resolved for itself.
+            outcome = replace(outcome, host=host)
+        return outcome

@@ -1,0 +1,256 @@
+"""JSON wire format spoken between the coordinator and remote workers.
+
+One task request flows to a worker's stdin, one result reply flows back on
+its stdout — a single JSON document each way, so the protocol works over
+any byte pipe (a local child process, ``ssh host python -m ...``).
+
+Encoding reuses :func:`repro.sim.resultcache.canonical` (dataclasses →
+field dicts, enums → values), which already covers every config object;
+decoding rebuilds the typed dataclasses generically from their field
+annotations, so new ``SystemConfig``/``SimOptions`` fields never need
+hand-written codec updates.  Results travel either as raw content-addressed
+cache-entry bytes (base64; the coordinator's cache absorbs them verbatim —
+warm-cache synchronization) or, for cacheless workers, as a lossless
+``repro.sim_result/v2-full`` dict.
+
+Anything malformed — truncated stdout, non-JSON garbage, a foreign schema,
+a field of the wrong shape — decodes to :class:`WireProtocolError`, which
+the supervisor converts into a structured retryable ``TaskFailure`` rather
+than crashing the coordinator (tests/test_executors.py pins this).
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import enum
+import json
+import typing
+from typing import Any, Dict, Optional, Type, TypeVar, Union
+
+from repro.config.system import SystemConfig
+from repro.sim.engine import SimOptions
+from repro.sim.resultcache import canonical
+from repro.sim.results import SimResult
+from repro.sim.serialize import result_from_dict, result_to_full_dict
+
+from repro.experiments.executors.base import (
+    WireProtocolError,
+    WorkerOutcome,
+    WorkerTask,
+)
+
+#: Schema tags of the two wire documents.
+TASK_SCHEMA = "repro.executor.task/v1"
+RESULT_SCHEMA = "repro.executor.result/v1"
+
+T = TypeVar("T")
+
+
+def _from_wire(cls: Any, value: Any) -> Any:
+    """Rebuild a typed value from its :func:`canonical` wire form.
+
+    Handles the closed type universe of the config/options dataclasses:
+    nested (frozen) dataclasses, enums, ``Optional[...]``, tuples/lists,
+    and JSON scalars.  Raises ``WireProtocolError`` on shape mismatches.
+    """
+    origin = typing.get_origin(cls)
+    if origin is Union:  # Optional[X] is Union[X, None]
+        args = [a for a in typing.get_args(cls) if a is not type(None)]
+        if value is None:
+            if type(None) in typing.get_args(cls):
+                return None
+            raise WireProtocolError(f"unexpected null for {cls}")
+        if len(args) != 1:
+            raise WireProtocolError(f"cannot decode union {cls}")
+        return _from_wire(args[0], value)
+    if origin in (list, tuple):
+        if not isinstance(value, list):
+            raise WireProtocolError(f"expected list for {cls}, got {type(value).__name__}")
+        args = typing.get_args(cls)
+        if origin is tuple:
+            item_type = args[0] if args and args[-1] is Ellipsis else None
+            return tuple(_from_wire(item_type, item) if item_type else item for item in value)
+        item_type = args[0] if args else None
+        return [_from_wire(item_type, item) if item_type else item for item in value]
+    if isinstance(cls, type) and issubclass(cls, enum.Enum):
+        try:
+            return cls(value)
+        except ValueError as exc:
+            raise WireProtocolError(str(exc)) from exc
+    if dataclasses.is_dataclass(cls) and isinstance(cls, type):
+        if not isinstance(value, dict):
+            raise WireProtocolError(
+                f"expected object for {cls.__name__}, got {type(value).__name__}"
+            )
+        hints = typing.get_type_hints(cls)
+        kwargs: Dict[str, Any] = {}
+        for fld in dataclasses.fields(cls):
+            if fld.name not in value:
+                continue  # let dataclass defaults cover absent fields
+            kwargs[fld.name] = _from_wire(hints[fld.name], value[fld.name])
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise WireProtocolError(f"cannot rebuild {cls.__name__}: {exc}") from exc
+    return value  # JSON scalar (or untyped passthrough)
+
+
+def decode_typed(cls: Type[T], value: Any) -> T:
+    """Public typed entry point of :func:`_from_wire`."""
+    return _from_wire(cls, value)
+
+
+def _b64(data: Optional[bytes]) -> Optional[str]:
+    return base64.b64encode(data).decode("ascii") if data is not None else None
+
+
+def _unb64(text: Any, what: str) -> bytes:
+    if not isinstance(text, str):
+        raise WireProtocolError(f"{what} must be a base64 string")
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise WireProtocolError(f"bad base64 in {what}: {exc}") from exc
+
+
+# -- task ------------------------------------------------------------------
+
+
+def encode_task(task: WorkerTask) -> bytes:
+    payload = {
+        "schema": TASK_SCHEMA,
+        "benchmark": task.benchmark,
+        "version": task.version,
+        "spec_blob_b64": _b64(task.spec_blob),
+        "system": canonical(task.system),
+        "options": canonical(task.options),
+        "cache_key": task.cache_key,
+        "cache_dir": task.cache_dir,
+        "sync_cache": task.sync_cache,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _parse_document(data: bytes, schema: str) -> Dict[str, Any]:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireProtocolError(f"undecodable wire payload: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != schema:
+        raise WireProtocolError(
+            f"expected a {schema} document, got "
+            f"{payload.get('schema') if isinstance(payload, dict) else type(payload).__name__!s}"
+        )
+    return payload
+
+
+def decode_task(data: bytes) -> WorkerTask:
+    payload = _parse_document(data, TASK_SCHEMA)
+    try:
+        benchmark = payload["benchmark"]
+        version = payload["version"]
+        cache_key = payload["cache_key"]
+    except KeyError as exc:
+        raise WireProtocolError(f"task payload missing {exc}") from exc
+    blob_b64 = payload.get("spec_blob_b64")
+    return WorkerTask(
+        benchmark=str(benchmark),
+        version=str(version),
+        spec_blob=_unb64(blob_b64, "spec_blob_b64") if blob_b64 is not None else None,
+        system=decode_typed(SystemConfig, payload.get("system")),
+        options=decode_typed(SimOptions, payload.get("options")),
+        cache_key=str(cache_key),
+        cache_dir=payload.get("cache_dir"),
+        sync_cache=bool(payload.get("sync_cache", True)),
+    )
+
+
+# -- result ----------------------------------------------------------------
+
+
+def encode_outcome(outcome: WorkerOutcome) -> bytes:
+    """Serialize a successful task's reply."""
+    payload: Dict[str, Any] = {
+        "schema": RESULT_SCHEMA,
+        "ok": True,
+        "benchmark": outcome.benchmark,
+        "version": outcome.version,
+        "wall_s": outcome.wall_s,
+        "memo_hits": outcome.memo_hits,
+        "memo_misses": outcome.memo_misses,
+        "host": outcome.host,
+        "cache_hit": outcome.cache_hit,
+    }
+    if outcome.entry_bytes is not None:
+        # The cache-entry bytes *are* the result (content-addressed under
+        # the task's cache key); no second encoding of the SimResult.
+        payload["entry_b64"] = _b64(outcome.entry_bytes)
+    elif outcome.result is not None:
+        payload["result"] = result_to_full_dict(outcome.result)
+    else:
+        raise ValueError("outcome carries neither a result nor entry bytes")
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def encode_error(
+    benchmark: str,
+    version: str,
+    error_type: str,
+    message: str,
+    host: Optional[str] = None,
+) -> bytes:
+    """Serialize a task that ran (or failed to decode) and raised."""
+    payload = {
+        "schema": RESULT_SCHEMA,
+        "ok": False,
+        "benchmark": benchmark,
+        "version": version,
+        "error_type": error_type,
+        "message": message,
+        "host": host,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode_result(data: bytes) -> WorkerOutcome:
+    """Parse a worker reply.
+
+    Raises :class:`~.base.RemoteTaskError` for a well-formed error reply
+    and :class:`~.base.WireProtocolError` for anything undecodable.
+    """
+    from repro.experiments.executors.base import RemoteTaskError
+
+    payload = _parse_document(data, RESULT_SCHEMA)
+    host = payload.get("host")
+    if not payload.get("ok"):
+        raise RemoteTaskError(
+            error_type=str(payload.get("error_type", "RemoteError")),
+            message=str(payload.get("message", "")),
+            host=host if isinstance(host, str) else None,
+        )
+    result: Optional[SimResult] = None
+    entry_bytes: Optional[bytes] = None
+    if "entry_b64" in payload:
+        entry_bytes = _unb64(payload["entry_b64"], "entry_b64")
+    elif "result" in payload:
+        try:
+            result = result_from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise WireProtocolError(f"undecodable result payload: {exc}") from exc
+    else:
+        raise WireProtocolError("result payload carries neither result nor entry bytes")
+    try:
+        return WorkerOutcome(
+            benchmark=str(payload["benchmark"]),
+            version=str(payload["version"]),
+            wall_s=float(payload["wall_s"]),
+            memo_hits=int(payload.get("memo_hits", 0)),
+            memo_misses=int(payload.get("memo_misses", 0)),
+            host=host if isinstance(host, str) else None,
+            cache_hit=bool(payload.get("cache_hit", False)),
+            result=result,
+            entry_bytes=entry_bytes,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireProtocolError(f"malformed result payload: {exc}") from exc

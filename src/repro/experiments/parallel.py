@@ -1,11 +1,16 @@
 """Parallel, cache-backed, fault-tolerant execution of the 46x2 sweep.
 
 The sweep is embarrassingly parallel: each (benchmark, version) simulation
-is independent, so this module fans tasks out over a
-``concurrent.futures.ProcessPoolExecutor`` and funnels finished results
-through the persistent :class:`~repro.sim.resultcache.ResultCache`.  The
-parent process owns the cache: it resolves hits before dispatch and stores
-fresh results as workers complete, so workers never touch the filesystem.
+is independent, so this module fans tasks out through a pluggable
+:class:`~repro.experiments.executors.ExecutorBackend` — the default
+``local`` backend is a ``concurrent.futures.ProcessPoolExecutor``;
+``subprocess`` runs each task in its own worker child, and ``ssh`` fans
+the same workers out over remote hosts (``--backend`` / ``--hosts``) —
+and funnels finished results through the persistent
+:class:`~repro.sim.resultcache.ResultCache`.  The coordinator resolves
+cache hits before dispatch and stores (or absorbs, for remote workers
+that ship their cache-entry bytes back) fresh results as workers
+complete.
 
 Most benchmark specs hold closure-based pipeline builders that cannot be
 pickled, so tasks cross the process boundary as ``suite/name`` strings and
@@ -39,22 +44,44 @@ from concurrent.futures import (
     CancelledError,
     Executor,
     Future,
-    ProcessPoolExecutor,
     wait,
 )
 from dataclasses import dataclass, field
-from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.config.system import SystemConfig
+from repro.experiments.executors import (
+    ExecutorBackend,
+    HostUnavailable,
+    RemoteTaskError,
+    TaskCrash,
+    WireProtocolError,
+    WorkerOutcome,
+    WorkerTask,
+    create_backend,
+)
 from repro.pipeline.transforms import remove_copies
 from repro.sim.engine import SimOptions, simulate
 from repro.sim.memo import stage_memo_snapshot
 from repro.sim.observe.metrics import MetricsRegistry
-from repro.sim.resultcache import ResultCache, cache_key
+from repro.sim.resultcache import ResultCache, cache_key, decode_entry_bytes
 from repro.sim.results import SimResult
 from repro.testing.faults import maybe_inject
 from repro.workloads import registry
 from repro.workloads.spec import BenchmarkSpec
+
+#: Patchable sleep seam (tests fake it to observe honored backoffs
+#: without actually waiting).
+_sleep = time.sleep
 
 COPY = "copy"
 LIMITED = "limited-copy"
@@ -127,11 +154,15 @@ class TaskFailure:
     message: str
     attempts: int
     worker_fate: str  # one of the FATE_* constants above
+    #: Host the final attempt ran on (executor backends; None when
+    #: unknown or in-parent).
+    host: Optional[str] = None
 
     def describe(self) -> str:
+        where = f" on {self.host}" if self.host else ""
         return (
             f"{self.benchmark}:{self.version} failed after "
-            f"{self.attempts} attempt(s) [{self.worker_fate}] "
+            f"{self.attempts} attempt(s) [{self.worker_fate}{where}] "
             f"{self.error_type}: {self.message}"
         )
 
@@ -189,6 +220,12 @@ class SweepMetrics:
     #: the parent's shared memo.
     stage_memo_hits: int = 0
     stage_memo_misses: int = 0
+    #: Tasks a *remote worker's* cache answered without simulating
+    #: (subprocess/ssh backends); coordinator-cache hits stay in
+    #: ``cache_hits``.
+    remote_cache_hits: int = 0
+    #: Fresh results per executor host ("local" for the process pool).
+    host_launched: Dict[str, int] = field(default_factory=dict)
     failures: List[TaskFailure] = field(default_factory=list)
 
     @property
@@ -218,6 +255,9 @@ class SweepMetrics:
         self.sweeps += other.sweeps
         self.stage_memo_hits += other.stage_memo_hits
         self.stage_memo_misses += other.stage_memo_misses
+        self.remote_cache_hits += other.remote_cache_hits
+        for host, count in other.host_launched.items():
+            self.host_launched[host] = self.host_launched.get(host, 0) + count
         self.failures.extend(other.failures)
 
     def format_line(self) -> str:
@@ -230,6 +270,8 @@ class SweepMetrics:
             parts.append(f"{self.memo_hits} memo hits")
         if self.stage_memo_hits:
             parts.append(f"{self.stage_memo_hits} stage-memo hits")
+        if self.remote_cache_hits:
+            parts.append(f"{self.remote_cache_hits} worker cache hits")
         if self.retries:
             parts.append(f"{self.retries} retries")
         if self.failures:
@@ -337,6 +379,8 @@ def run_tasks(
     cache: Optional[ResultCache] = None,
     metrics_registry: Optional[MetricsRegistry] = None,
     policy: Optional[FaultPolicy] = None,
+    backend: Union[None, str, ExecutorBackend] = None,
+    hosts: Sequence[str] = (),
 ) -> Tuple[Dict[Tuple[str, str], SimResult], SweepMetrics]:
     """Execute a batch of sweep tasks, parallel, cache-aware, fault-tolerant.
 
@@ -347,6 +391,13 @@ def run_tasks(
     ``metrics_registry`` every result of the batch — fresh simulation and
     persistent-cache hit alike — is summarized into it, so sweeps can
     surface per-benchmark trace summaries without re-running anything.
+
+    ``backend`` selects the execution substrate when the batch pools
+    (``local`` process pool by default; ``subprocess`` for per-task
+    worker children; ``ssh`` to fan out over ``hosts`` — or pass a live
+    :class:`~repro.experiments.executors.ExecutorBackend`).  Fault
+    semantics are backend-independent; ``jobs`` always bounds total
+    in-flight tasks.
 
     A failing task never aborts the batch: it is retried per ``policy``
     (default :class:`FaultPolicy`) and, once its retries are exhausted,
@@ -384,20 +435,65 @@ def run_tasks(
         result: SimResult,
         wall_s: float,
         memo_delta: Tuple[int, int] = (0, 0),
+        *,
+        host: Optional[str] = None,
+        store: bool = True,
+        remote_hit: bool = False,
     ) -> None:
         results[(task.full_name, task.version)] = result
         record(task, result)
         metrics.launched += 1
+        if remote_hit:
+            metrics.remote_cache_hits += 1
+        if host is not None:
+            metrics.host_launched[host] = metrics.host_launched.get(host, 0) + 1
         metrics.serial_estimate_s += wall_s
         metrics.stage_memo_hits += memo_delta[0]
         metrics.stage_memo_misses += memo_delta[1]
         if metrics_registry is not None:
             metrics_registry.record_stage_memo(memo_delta[0], memo_delta[1])
-        if cache is not None:
+        if cache is not None and store:
             cache.store(key, result, sim_wall_s=wall_s)
 
+    def complete(state: _TaskState, outcome: WorkerOutcome) -> bool:
+        """Record one successful :class:`WorkerOutcome`.
+
+        Remote outcomes may carry raw cache-entry bytes instead of a
+        result; the coordinator's cache absorbs them (warm-cache sync).
+        Returns False when the payload was undecodable — the caller
+        requeues the task as a wire-protocol failure.
+        """
+        result = outcome.result
+        stored = False
+        if result is None:
+            entry = None
+            if outcome.entry_bytes is not None:
+                if cache is not None:
+                    entry = cache.absorb(state.key, outcome.entry_bytes)
+                    stored = entry is not None
+                else:
+                    entry = decode_entry_bytes(state.key, outcome.entry_bytes)
+            if entry is None:
+                return False
+            result = entry.result
+        finish(
+            state.task,
+            state.key,
+            result,
+            outcome.wall_s,
+            (outcome.memo_hits, outcome.memo_misses),
+            host=outcome.host,
+            store=not stored,
+            remote_hit=outcome.cache_hit,
+        )
+        return True
+
     def final_failure(
-        state: _TaskState, error_type: str, message: str, fate: str
+        state: _TaskState,
+        error_type: str,
+        message: str,
+        fate: str,
+        host: Optional[str] = None,
     ) -> None:
         nonlocal stop
         failure = TaskFailure(
@@ -407,6 +503,7 @@ def run_tasks(
             message=message,
             attempts=state.attempts,
             worker_fate=fate,
+            host=host,
         )
         metrics.failures.append(failure)
         if metrics_registry is not None:
@@ -416,7 +513,9 @@ def run_tasks(
 
     local: List[Tuple[SweepTask, str]] = []
     remote: List[Tuple[SweepTask, str, Optional[bytes]]] = []
+    pool_backend: Optional[ExecutorBackend] = None
     if jobs > 1 and len(pending) > 1:
+        pool_backend = create_backend(backend, hosts=hosts)
         for task, key in pending:
             try:
                 remote.append((task, key, _dispatchable(task)))
@@ -428,40 +527,139 @@ def run_tasks(
     else:
         local = pending
 
-    def run_pooled(states: List[_TaskState]) -> List[_TaskState]:
-        """Supervise pooled execution; returns the tasks still unfinished
-        when the pool had to be abandoned (degrade-to-serial)."""
+    # Workers on this machine share the coordinator's cache directory;
+    # the ssh backend rewrites the path for remote filesystems.
+    worker_cache_dir = str(cache.root) if cache is not None else None
+
+    def worker_task(state: _TaskState, system: SystemConfig) -> WorkerTask:
+        return WorkerTask(
+            benchmark=state.task.full_name,
+            version=state.task.version,
+            spec_blob=state.spec_blob,
+            system=system,
+            options=options,
+            cache_key=state.key,
+            cache_dir=worker_cache_dir,
+        )
+
+    def run_pooled(
+        states: List[_TaskState], backend: ExecutorBackend
+    ) -> List[_TaskState]:
+        """Supervise pooled execution through an executor backend; returns
+        the tasks still unfinished when the backend had to be abandoned
+        (degrade-to-serial)."""
         nonlocal stop
         workers = min(jobs, len(states))
         ready: List[_TaskState] = list(states)
         waiting: List[_TaskState] = []
         inflight: Dict[Future, _TaskState] = {}
-        pool = ProcessPoolExecutor(max_workers=workers)
-        pool_breaks = 0
-
-        def terminate_pool() -> None:
-            # Hung or crashed workers cannot be joined; kill what's left.
-            processes = getattr(pool, "_processes", None) or {}
-            for process in list(processes.values()):
-                if process.is_alive():
-                    process.terminate()
-            pool.shutdown(wait=False, cancel_futures=True)
+        try:
+            backend.start(workers)
+        except Exception:
+            return states  # nothing provisioned; run everything in-parent
+        # Pool breaks *and* timeout teardowns share one bounded recycle
+        # budget: a workload that crashes or hangs every attempt must
+        # degrade to serial, not recycle executors forever.
+        recycles = 0
 
         def requeue(
-            state: _TaskState, error_type: str, message: str, fate: str
+            state: _TaskState,
+            error_type: str,
+            message: str,
+            fate: str,
+            host: Optional[str] = None,
         ) -> None:
             if state.attempts > policy.max_retries:
-                final_failure(state, error_type, message, fate)
+                final_failure(state, error_type, message, fate, host=host)
                 return
             metrics.retries += 1
             state.ready_at = time.monotonic() + policy.backoff_s(state.attempts)
             waiting.append(state)
 
         def requeue_free(state: _TaskState) -> None:
-            """Requeue an innocent victim of a pool recycle, uncharged."""
+            """Requeue an innocent victim of a backend recycle (or of an
+            unreachable host), uncharged."""
             state.attempts -= 1
             state.ready_at = 0.0
             waiting.append(state)
+
+        def drain_finished(future: Future, state: _TaskState) -> bool:
+            """Resolve one completed future; True when the backend broke."""
+            try:
+                outcome = future.result()
+            except BrokenExecutor as exc:
+                requeue(
+                    state,
+                    "WorkerCrash",
+                    str(exc) or "worker process died",
+                    FATE_CRASHED,
+                )
+                return True
+            except CancelledError:
+                requeue_free(state)
+            except HostUnavailable:
+                # The backend quarantined the host; the task never ran
+                # there, so it resubmits uncharged (to a surviving host).
+                requeue_free(state)
+            except TaskCrash as exc:
+                requeue(
+                    state,
+                    "WorkerCrash",
+                    str(exc) or "worker process died",
+                    FATE_CRASHED,
+                    host=exc.host,
+                )
+            except RemoteTaskError as exc:
+                requeue(
+                    state, exc.error_type, exc.message, FATE_ALIVE, host=exc.host
+                )
+            except WireProtocolError as exc:
+                requeue(
+                    state, "WireProtocolError", str(exc), FATE_ALIVE, host=exc.host
+                )
+            except Exception as exc:
+                requeue(
+                    state,
+                    type(exc).__name__,
+                    str(exc) or repr(exc),
+                    FATE_ALIVE,
+                )
+            else:
+                if not complete(state, outcome):
+                    requeue(
+                        state,
+                        "WireProtocolError",
+                        "undecodable cache-entry bytes from worker",
+                        FATE_ALIVE,
+                        host=outcome.host,
+                    )
+            return False
+
+        def salvage_and_recycle(charge_unfinished: bool) -> bool:
+            """Drain finished in-flight futures, refund (or charge) the
+            rest, and recycle the backend.  Returns False once the
+            recycle budget is spent (the caller degrades to serial)."""
+            nonlocal recycles
+            recycles += 1
+            for future, state in list(inflight.items()):
+                if future.done():
+                    drain_finished(future, state)
+                elif charge_unfinished:
+                    requeue(
+                        state,
+                        "WorkerCrash",
+                        "worker process died (pool broken)",
+                        FATE_CRASHED,
+                        host=backend.host_of(future),
+                    )
+                else:
+                    requeue_free(state)
+            inflight.clear()
+            if recycles > policy.max_pool_rebuilds:
+                return False
+            metrics.pool_rebuilds += 1
+            backend.recycle()
+            return True
 
         try:
             while ready or waiting or inflight:
@@ -499,16 +697,7 @@ def run_tasks(
                     state.attempts += 1
                     state.started_at = time.monotonic()
                     try:
-                        future = pool.submit(
-                            _worker,
-                            (
-                                state.task.full_name,
-                                state.spec_blob,
-                                state.task.version,
-                                system,
-                                options,
-                            ),
-                        )
+                        future = backend.submit(worker_task(state, system))
                     except (BrokenExecutor, RuntimeError):
                         state.attempts -= 1  # this attempt never ran
                         ready.insert(0, state)
@@ -541,65 +730,25 @@ def run_tasks(
                     # did (the pre-supervisor code lost them).
                     for future in done:
                         state = inflight.pop(future)
-                        try:
-                            _, _, result, wall_s, memo_delta = future.result()
-                        except BrokenExecutor as exc:
+                        if drain_finished(future, state):
                             broken = True
-                            requeue(
-                                state,
-                                "WorkerCrash",
-                                str(exc) or "worker process died",
-                                FATE_CRASHED,
-                            )
-                        except CancelledError:
-                            requeue_free(state)
-                        except Exception as exc:
-                            requeue(
-                                state,
-                                type(exc).__name__,
-                                str(exc) or repr(exc),
-                                FATE_ALIVE,
-                            )
-                        else:
-                            finish(state.task, state.key, result, wall_s, memo_delta)
                 elif not inflight and waiting and not stop and not broken:
                     delay = max(
                         0.0, min(s.ready_at for s in waiting) - time.monotonic()
                     )
                     if delay:
-                        time.sleep(delay)
+                        _sleep(delay)
                     continue
 
                 if broken:
-                    # The pool is gone: salvage any future that completed
-                    # with a real result, charge the rest one attempt each
-                    # (the crashing task cannot be identified, and charging
-                    # everyone bounds a repeat-killer), then rebuild — or
-                    # degrade to in-parent serial after repeated breaks.
-                    pool_breaks += 1
-                    for future, state in list(inflight.items()):
-                        salvaged = False
-                        if future.done():
-                            try:
-                                _, _, result, wall_s, memo_delta = future.result()
-                            except BaseException:
-                                pass
-                            else:
-                                finish(state.task, state.key, result, wall_s, memo_delta)
-                                salvaged = True
-                        if not salvaged:
-                            requeue(
-                                state,
-                                "WorkerCrash",
-                                "worker process died (pool broken)",
-                                FATE_CRASHED,
-                            )
-                    inflight.clear()
-                    terminate_pool()
-                    if pool_breaks > policy.max_pool_rebuilds:
+                    # The backend is gone: salvage any future that
+                    # completed with a real result, charge the rest one
+                    # attempt each (the crashing task cannot be identified,
+                    # and charging everyone bounds a repeat-killer), then
+                    # recycle — or degrade to in-parent serial after
+                    # repeated breaks.
+                    if not salvage_and_recycle(charge_unfinished=True):
                         return ready + waiting
-                    metrics.pool_rebuilds += 1
-                    pool = ProcessPoolExecutor(max_workers=workers)
                     continue
 
                 if policy.task_timeout_s is not None and inflight:
@@ -610,46 +759,33 @@ def run_tasks(
                         if now - state.started_at >= policy.task_timeout_s
                     ]
                     if expired:
+                        surgical = True
                         for future, state in expired:
                             del inflight[future]
+                            host = backend.host_of(future)
+                            if not backend.kill_task(future):
+                                surgical = False
                             requeue(
                                 state,
                                 "TaskTimeout",
                                 f"exceeded task timeout "
                                 f"({policy.task_timeout_s:g}s)",
                                 FATE_TIMED_OUT,
+                                host=host,
                             )
-                        # Killing the hung worker tears down the whole
-                        # pool; in-flight tasks that had not expired are
-                        # innocent and requeue uncharged.
-                        for future, state in list(inflight.items()):
-                            if future.done():
-                                try:
-                                    _, _, result, wall_s, memo_delta = future.result()
-                                except BaseException:
-                                    requeue(
-                                        state,
-                                        "WorkerCrash",
-                                        "worker died in pool recycle",
-                                        FATE_CRASHED,
-                                    )
-                                else:
-                                    finish(
-                                        state.task,
-                                        state.key,
-                                        result,
-                                        wall_s,
-                                        memo_delta,
-                                    )
-                            else:
-                                requeue_free(state)
-                        inflight.clear()
-                        terminate_pool()
-                        metrics.pool_rebuilds += 1
-                        pool = ProcessPoolExecutor(max_workers=workers)
+                        # Backends with per-task children kill just the
+                        # hung worker; a shared pool cannot, so the whole
+                        # backend recycles — in-flight tasks that had not
+                        # expired are innocent and requeue uncharged.  The
+                        # teardown draws on the same bounded budget as a
+                        # break: a hang-every-attempt workload degrades to
+                        # serial instead of recycling pools forever.
+                        if not surgical:
+                            if not salvage_and_recycle(charge_unfinished=False):
+                                return ready + waiting
             return []
         finally:
-            terminate_pool()
+            backend.shutdown()
 
     def run_serial(states: List[_TaskState]) -> None:
         for state in states:
@@ -662,6 +798,12 @@ def run_tasks(
                 )
                 continue
             system = _system_for(state.task.version, discrete, heterogeneous)
+            # A task that degraded out of the pool mid-retry still owes
+            # its backoff (ready_at); honor it instead of hot-looping the
+            # retry the pool had deliberately delayed.
+            pending_backoff = state.ready_at - time.monotonic()
+            if pending_backoff > 0:
+                _sleep(pending_backoff)
             while True:
                 state.attempts += 1
                 try:
@@ -680,17 +822,17 @@ def run_tasks(
                     metrics.retries += 1
                     delay = policy.backoff_s(state.attempts)
                     if delay:
-                        time.sleep(delay)
+                        _sleep(delay)
                 else:
                     finish(state.task, state.key, result, wall_s, memo_delta)
                     break
 
     serial_states = [_TaskState(task, key) for task, key in local]
-    if remote:
+    if remote and pool_backend is not None:
         remote_states = [
             _TaskState(task, key, blob) for task, key, blob in remote
         ]
-        serial_states = run_pooled(remote_states) + serial_states
+        serial_states = run_pooled(remote_states, pool_backend) + serial_states
     run_serial(serial_states)
 
     metrics.wall_s = time.perf_counter() - start
@@ -713,6 +855,8 @@ async def run_tasks_async(
     cache: Optional[ResultCache] = None,
     metrics_registry: Optional[MetricsRegistry] = None,
     policy: Optional[FaultPolicy] = None,
+    backend: Union[None, str, ExecutorBackend] = None,
+    hosts: Sequence[str] = (),
     executor: Optional[Executor] = None,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressHook] = None,
@@ -757,6 +901,8 @@ async def run_tasks_async(
                 cache=cache,
                 metrics_registry=metrics_registry,
                 policy=policy,
+                backend=backend,
+                hosts=hosts,
             ),
         )
         results.update(part)

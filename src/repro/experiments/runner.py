@@ -20,7 +20,16 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.config.system import (
     SystemConfig,
@@ -45,6 +54,9 @@ from repro.sim.resultcache import ResultCache, cache_key
 from repro.sim.results import SimResult
 from repro.workloads.registry import simulatable_specs
 from repro.workloads.spec import BenchmarkSpec
+
+if TYPE_CHECKING:
+    from repro.experiments.executors import ExecutorBackend
 
 __all__ = [
     "BenchmarkRun",
@@ -101,6 +113,11 @@ class SweepRunner:
             surface as :class:`TaskFailure` entries on ``last_metrics`` and
             in the ``metrics_registry``, while every completed result is
             kept, cached, and memoized.
+        backend: executor backend fanning out the sweep — ``"local"``
+            (default process pool), ``"subprocess"``, ``"ssh"``, or a
+            ready :class:`~repro.experiments.executors.ExecutorBackend`
+            instance.  Results are bit-identical across backends.
+        hosts: remote host names for the ``"ssh"`` backend.
     """
 
     def __init__(
@@ -113,6 +130,8 @@ class SweepRunner:
         verbose: bool = False,
         preflight: bool = False,
         fault_policy: Optional[FaultPolicy] = None,
+        backend: Union[None, str, "ExecutorBackend"] = None,
+        hosts: Sequence[str] = (),
     ):
         self.options = options or SimOptions(scale=DEFAULT_BENCH_SCALE)
         self.discrete = discrete or discrete_gpu_system()
@@ -122,6 +141,8 @@ class SweepRunner:
         self.verbose = verbose
         self.preflight = preflight
         self.fault_policy = fault_policy
+        self.backend = backend
+        self.hosts = tuple(hosts)
         #: Memo keyed by the *content hash* of each run — includes every
         #: SimOptions field (scale, seed, ...), the system, and the engine
         #: tag, so changing ``self.options`` can never serve stale results.
@@ -172,6 +193,8 @@ class SweepRunner:
             cache=self.cache,
             metrics_registry=self.metrics_registry,
             policy=self.fault_policy,
+            backend=self.backend,
+            hosts=self.hosts,
         )
         # Failed tasks produce no result; memoize exactly the successes so
         # a later request re-attempts the failures instead of KeyError-ing.

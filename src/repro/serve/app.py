@@ -110,6 +110,11 @@ class ServeConfig:
     max_body_bytes: int = 1 << 20
     #: SSE keep-alive interval while a job produces no events.
     sse_keepalive_s: float = 15.0
+    #: Executor backend job sweeps fan out through ("local", "subprocess",
+    #: or "ssh" — see docs/SWEEPS.md); results are identical across them.
+    backend: str = "local"
+    #: Remote hosts for the "ssh" backend.
+    hosts: Tuple[str, ...] = ()
 
 
 class ServeApp:
@@ -279,6 +284,8 @@ class ServeApp:
             executor=self._executor,
             chunk_size=self._chunk_size(len(tasks)),
             progress=progress,
+            backend=self.config.backend,
+            hosts=self.config.hosts,
         )
         self.stats["computed_runs"] += metrics.launched
         self.stats["warm_runs"] += metrics.cache_hits
@@ -302,6 +309,7 @@ class ServeApp:
                 "message": failure.message,
                 "attempts": failure.attempts,
                 "worker_fate": failure.worker_fate,
+                "host": failure.host,
             }
             for failure in metrics.failures
         ]

@@ -11,7 +11,14 @@ re-simulating.
 
 All mutation happens on the server's event loop thread, so the store
 needs no locking; progress consumers (status polls, SSE streams) wait on
-a per-job :class:`asyncio.Condition`.
+a per-job *rotating* :class:`asyncio.Event`: ``publish`` swaps in a fresh
+event and sets the old one, waking every waiter of the previous epoch.
+An earlier design used :class:`asyncio.Condition`, but before Python 3.12
+``Condition.wait`` could be cancelled *while reacquiring its lock*
+(cpython gh-90467), losing the cancellation or corrupting the lock state
+— and every SSE disconnect cancels a waiter, so the hazard was routine
+here.  Plain events have no lock to reacquire, so cancellation is safe on
+every interpreter this project supports.
 """
 
 from __future__ import annotations
@@ -51,7 +58,11 @@ class Job:
     #: Terminal payload: per-run results plus structured failures.
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
-    _cond: asyncio.Condition = field(default_factory=asyncio.Condition)
+    #: Live waiters (SSE streams, wait=1 polls) — a nonzero count shields
+    #: the job from store eviction so their terminal replay cannot 404.
+    waiters: int = 0
+    #: Current-epoch change signal; see the module docstring.
+    _changed: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     @property
     def terminal(self) -> bool:
@@ -83,48 +94,71 @@ class Job:
     async def publish(self, event: str, **data: Any) -> None:
         """Append one progress event and wake every waiter."""
         payload = {"seq": len(self.events), "event": event, **data}
-        async with self._cond:
-            self.events.append(payload)
-            self._cond.notify_all()
+        self.events.append(payload)
+        # Rotate: waiters of the old epoch wake and re-check their
+        # predicate; new waiters park on the fresh event.
+        stale, self._changed = self._changed, asyncio.Event()
+        stale.set()
+
+    async def _wait_until(self, predicate, timeout: Optional[float]) -> None:
+        """Park until ``predicate()`` holds or ``timeout`` elapses.
+
+        Cancellation-safe on every supported Python: there is no lock to
+        reacquire, so a cancel during the wait just propagates.  The
+        epoch event is captured *before* re-checking the predicate and
+        nothing awaits in between, so a publish can never slip through
+        the gap (all mutation happens on this event loop thread).
+        """
+        deadline = (
+            None if timeout is None else asyncio.get_event_loop().time() + timeout
+        )
+        self.waiters += 1
+        try:
+            while not predicate():
+                changed = self._changed
+                if deadline is None:
+                    await changed.wait()
+                    continue
+                remaining = deadline - asyncio.get_event_loop().time()
+                if remaining <= 0:
+                    return
+                try:
+                    await asyncio.wait_for(changed.wait(), remaining)
+                except asyncio.TimeoutError:
+                    return
+        finally:
+            self.waiters -= 1
 
     async def wait_events(
         self, after_seq: int, timeout: Optional[float] = None
     ) -> Tuple[List[Dict[str, Any]], bool]:
         """Events past ``after_seq``; blocks until there are any or the job
         is terminal.  Returns ``(events, terminal)``."""
-        async with self._cond:
-            if not (len(self.events) > after_seq or self.terminal):
-                try:
-                    await asyncio.wait_for(
-                        self._cond.wait_for(
-                            lambda: len(self.events) > after_seq or self.terminal
-                        ),
-                        timeout,
-                    )
-                except asyncio.TimeoutError:
-                    pass
-            return list(self.events[after_seq:]), self.terminal
+        await self._wait_until(
+            lambda: len(self.events) > after_seq or self.terminal, timeout
+        )
+        return list(self.events[after_seq:]), self.terminal
 
     async def wait_terminal(self, timeout: Optional[float] = None) -> bool:
         """Block until the job reaches a terminal state; True on success."""
-        async with self._cond:
-            try:
-                await asyncio.wait_for(
-                    self._cond.wait_for(lambda: self.terminal), timeout
-                )
-            except asyncio.TimeoutError:
-                pass
-            return self.terminal
+        await self._wait_until(lambda: self.terminal, timeout)
+        return self.terminal
 
 
 class JobStore:
     """All jobs of one server process, with in-flight dedup by hash."""
 
-    def __init__(self, max_jobs: int = 10_000) -> None:
+    def __init__(
+        self, max_jobs: int = 10_000, evict_grace_s: float = 60.0
+    ) -> None:
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, str] = {}  # content hash -> job id
         self._ids = itertools.count(1)
         self._max_jobs = max_jobs
+        #: Terminal jobs younger than this are never evicted — a client
+        #: that just watched a job finish gets a window to fetch the
+        #: terminal payload without racing eviction into a 404.
+        self._evict_grace_s = evict_grace_s
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -193,13 +227,31 @@ class JobStore:
         """Drop the oldest terminal jobs once the store exceeds its cap.
 
         In-flight jobs are never evicted — the cap only bounds how much
-        history a long-running server retains for status polls.
+        history a long-running server retains for status polls.  Two more
+        shields keep eviction from racing live readers into a 404:
+
+        * jobs with registered ``waiters`` (an SSE stream about to replay
+          the terminal event, a ``wait=1`` poll) are skipped, and
+        * jobs inside the ``evict_grace_s`` window after finishing are
+          skipped, covering the client that saw "finished" and is about
+          to GET the result.
+
+        Both shields may leave the store over its cap temporarily; the
+        next submission re-runs eviction once the shields lapse.
         """
         excess = len(self._jobs) - self._max_jobs
         if excess <= 0:
             return
+        now = time.time()
         finished = sorted(
-            (job for job in self._jobs.values() if job.terminal),
+            (
+                job
+                for job in self._jobs.values()
+                if job.terminal
+                and job.waiters == 0
+                and now - (job.finished_s or job.created_s)
+                >= self._evict_grace_s
+            ),
             key=lambda job: job.finished_s or job.created_s,
         )
         for job in finished[:excess]:

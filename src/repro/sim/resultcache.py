@@ -145,6 +145,29 @@ class CacheEntry:
     sim_wall_s: float
 
 
+def decode_entry_bytes(key: str, data: bytes) -> Optional[CacheEntry]:
+    """Parse raw on-disk entry bytes (the gzip-JSON envelope) for ``key``.
+
+    This is how cache entries travel between machines: a remote worker
+    ships the exact bytes it stored, and the coordinator validates them
+    here before :meth:`ResultCache.absorb` installs them verbatim.
+    Anything torn, foreign, or mis-keyed returns ``None``.
+    """
+    try:
+        payload = json.loads(gzip.decompress(data).decode("utf-8"))
+    except (OSError, EOFError, zlib.error, UnicodeDecodeError, ValueError):
+        return None
+    try:
+        if payload.get("schema") != CACHE_SCHEMA or payload.get("key") != key:
+            return None
+        return CacheEntry(
+            result=result_from_dict(payload["result"]),
+            sim_wall_s=float(payload.get("sim_wall_s", 0.0)),
+        )
+    except (ValueError, KeyError, TypeError, AttributeError):
+        return None
+
+
 class _Flight:
     """Refcounted per-key lock slot of the single-flight registry."""
 
@@ -305,6 +328,35 @@ class ResultCache:
                 pass
             raise
         return path
+
+    def absorb(self, key: str, data: bytes) -> Optional[CacheEntry]:
+        """Adopt entry bytes another cache produced (warm-cache sync).
+
+        Remote sweep workers return the content-addressed bytes they
+        stored locally; installing them verbatim costs one validating
+        decode and one atomic write — no re-simulation, no re-encode.
+        Returns the decoded entry, or ``None`` (and installs nothing)
+        when the bytes are damaged or keyed differently.
+        """
+        entry = decode_entry_bytes(key, data)
+        if entry is None:
+            return None
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                raw.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return entry
 
     # -- maintenance ---------------------------------------------------------
 

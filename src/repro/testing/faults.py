@@ -56,6 +56,11 @@ FAULT_DIR_ENV = "REPRO_FAULT_DIR"
 #: Exit status of a worker killed by the ``kill`` fault mode.
 KILL_EXIT_CODE = 86
 
+#: Set (to any non-empty value) in executor worker children
+#: (repro.experiments.remote_worker), which are not multiprocessing
+#: children but are still safe to hard-kill — the coordinator survives.
+EXECUTOR_WORKER_ENV = "REPRO_EXECUTOR_WORKER"
+
 RAISE = "raise"
 HANG = "hang"
 KILL = "kill"
@@ -216,10 +221,13 @@ def maybe_inject(benchmark: str, version: str) -> None:
     if rule.mode == HANG:
         time.sleep(rule.hang_s)
         return
-    # KILL: a hard worker death.  In the parent process (serial or
+    # KILL: a hard worker death.  Pool workers and executor worker
+    # children may die for real; in the parent process (serial or
     # degraded execution) dying would take down the whole sweep and the
     # test runner with it, so degrade to a raise there.
-    if multiprocessing.parent_process() is not None:
+    if multiprocessing.parent_process() is not None or os.environ.get(
+        EXECUTOR_WORKER_ENV
+    ):
         os._exit(KILL_EXIT_CODE)
     raise FaultInjected(f"injected kill refused in parent process: {target}")
 
